@@ -1,0 +1,413 @@
+// Package ehdl's benchmark suite regenerates every table and figure of
+// the paper's evaluation as a testing.B benchmark. Custom metrics carry
+// the simulated quantities (Mpps, ns latency, FPGA resources); ns/op is
+// the host-side simulation cost.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// One experiment:
+//
+//	go test -bench=BenchmarkFig9aThroughput -benchtime=10000x
+package ehdl
+
+import (
+	"strconv"
+	"testing"
+
+	"ehdl/internal/analytic"
+	"ehdl/internal/apps"
+	"ehdl/internal/baseline/bluefield"
+	"ehdl/internal/baseline/hxdp"
+	"ehdl/internal/baseline/sdnet"
+	"ehdl/internal/core"
+	"ehdl/internal/hdl"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/nic"
+	"ehdl/internal/pktgen"
+	"ehdl/internal/vm"
+)
+
+func compileFor(b *testing.B, app *apps.App, opts core.Options) *core.Pipeline {
+	b.Helper()
+	pl, err := core.Compile(app.MustProgram(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl
+}
+
+func shellFor(b *testing.B, app *apps.App, opts core.Options, cfg nic.ShellConfig) *nic.Shell {
+	b.Helper()
+	sh, err := nic.New(compileFor(b, app, opts), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := app.Setup(sh.Maps()); err != nil {
+		b.Fatal(err)
+	}
+	return sh
+}
+
+func packetsForRun(b *testing.B) int {
+	n := b.N
+	if n < 2000 {
+		n = 2000
+	}
+	if n > 200000 {
+		n = 200000
+	}
+	return n
+}
+
+// BenchmarkFig9aThroughput regenerates Figure 9a: line-rate forwarding
+// for every application, with the processor baselines for comparison.
+func BenchmarkFig9aThroughput(b *testing.B) {
+	for _, app := range apps.All() {
+		b.Run(app.Name+"/eHDL", func(b *testing.B) {
+			sh := shellFor(b, app, core.Options{}, nic.ShellConfig{})
+			gen := pktgen.NewGenerator(app.Traffic)
+			n := packetsForRun(b)
+			b.ResetTimer()
+			rep, err := sh.RunLoad(gen.Next, n, sh.LineRateMpps(64)*1e6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(rep.AchievedMpps, "Mpps")
+			b.ReportMetric(float64(rep.Lost), "lost")
+			if rep.Lost > 0 {
+				b.Errorf("%s lost %d packets at line rate", app.Name, rep.Lost)
+			}
+		})
+		b.Run(app.Name+"/hXDP", func(b *testing.B) {
+			gen := pktgen.NewGenerator(app.Traffic)
+			n := min(packetsForRun(b), 3000)
+			b.ResetTimer()
+			rep, err := hxdp.New().RunApp(app.MustProgram(), app.SetupHost, gen, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.Mpps, "Mpps")
+		})
+		b.Run(app.Name+"/Bf2-4c", func(b *testing.B) {
+			gen := pktgen.NewGenerator(app.Traffic)
+			n := min(packetsForRun(b), 3000)
+			b.ResetTimer()
+			rep, err := bluefield.New(4).RunApp(app.MustProgram(), app.SetupHost, gen, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.Mpps, "Mpps")
+		})
+	}
+}
+
+// BenchmarkFig9bLatency regenerates Figure 9b: per-application
+// forwarding latency.
+func BenchmarkFig9bLatency(b *testing.B) {
+	for _, app := range apps.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			sh := shellFor(b, app, core.Options{}, nic.ShellConfig{})
+			gen := pktgen.NewGenerator(app.Traffic)
+			n := min(packetsForRun(b), 5000)
+			b.ResetTimer()
+			rep, err := sh.RunLoad(gen.Next, n, 50e6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(rep.AvgLatencyNs, "ns-latency")
+		})
+	}
+}
+
+// BenchmarkFig9cStages regenerates Figure 9c: stage and instruction
+// counts per application.
+func BenchmarkFig9cStages(b *testing.B) {
+	for _, app := range apps.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			var stages, bundles, orig int
+			for i := 0; i < b.N; i++ {
+				pl := compileFor(b, app, core.Options{})
+				bu, err := hxdp.New().StaticBundles(app.MustProgram())
+				if err != nil {
+					b.Fatal(err)
+				}
+				stages, bundles, orig = pl.NumStages(), bu, len(pl.Prog.Instructions)
+			}
+			b.ReportMetric(float64(stages), "stages")
+			b.ReportMetric(float64(bundles), "hXDP-instr")
+			b.ReportMetric(float64(orig), "orig-instr")
+		})
+	}
+}
+
+// BenchmarkFig10Resources regenerates Figure 10: FPGA utilisation of the
+// three systems.
+func BenchmarkFig10Resources(b *testing.B) {
+	dev := hdl.AlveoU50()
+	for _, app := range apps.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			var eh hdl.Percent
+			for i := 0; i < b.N; i++ {
+				eh = hdl.EstimateDesign(compileFor(b, app, core.Options{})).PercentOf(dev)
+			}
+			b.ReportMetric(eh.LUT, "LUT%")
+			b.ReportMetric(eh.FF, "FF%")
+			b.ReportMetric(eh.BRAM, "BRAM%")
+			if !app.P4Expressible {
+				return
+			}
+			d, err := sdnet.Compile(app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(d.Resources().PercentOf(dev).LUT, "SDNet-LUT%")
+		})
+	}
+}
+
+// BenchmarkTable2Flushing regenerates Table 2: leaky-bucket flush rates
+// under the CAIDA and MAWI trace profiles.
+func BenchmarkTable2Flushing(b *testing.B) {
+	for _, profile := range []pktgen.TraceProfile{pktgen.CAIDAProfile(), pktgen.MAWIProfile()} {
+		name := "CAIDA"
+		if profile.Seed == pktgen.MAWIProfile().Seed {
+			name = "MAWI"
+		}
+		b.Run(name, func(b *testing.B) {
+			sh := shellFor(b, apps.LeakyBucket(), core.Options{}, nic.ShellConfig{})
+			trace := pktgen.NewTrace(profile)
+			offered := pktgen.LineRatePPS(100e9, profile.MeanPacketLen)
+			n := packetsForRun(b)
+			b.ResetTimer()
+			rep, err := sh.RunLoad(trace.Next, n, offered)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(rep.FlushesPerS, "flushes/s")
+			b.ReportMetric(float64(rep.Lost), "lost")
+		})
+	}
+}
+
+// BenchmarkTable3Analytic regenerates Table 3 from the compiled hazard
+// geometry.
+func BenchmarkTable3Analytic(b *testing.B) {
+	pl := compileFor(b, apps.LeakyBucket(), core.Options{})
+	var mb *core.MapBlock
+	for i := range pl.Maps {
+		if pl.Maps[i].NeedsFlush {
+			mb = &pl.Maps[i]
+		}
+	}
+	if mb == nil {
+		b.Fatal("leaky bucket has no flush-protected map")
+	}
+	var tp float64
+	for i := 0; i < b.N; i++ {
+		pf := analytic.FlushProbZipf(mb.L, 50000)
+		tp = analytic.Throughput(250, mb.K+4, pf)
+	}
+	b.ReportMetric(float64(mb.K), "K")
+	b.ReportMetric(float64(mb.L), "L")
+	b.ReportMetric(tp, "Tp-Mpps")
+}
+
+// BenchmarkTable4Analytic regenerates Table 4.
+func BenchmarkTable4Analytic(b *testing.B) {
+	var rows []analytic.Table4Row
+	for i := 0; i < b.N; i++ {
+		rows = analytic.Table4()
+	}
+	for _, row := range rows {
+		b.ReportMetric(row.KMax, "Kmax-L"+strconv.Itoa(row.L))
+	}
+}
+
+// BenchmarkTable5ILP regenerates Table 5 / Appendix A.3.
+func BenchmarkTable5ILP(b *testing.B) {
+	for _, app := range apps.All() {
+		b.Run(app.Name, func(b *testing.B) {
+			var maxILP int
+			var avgILP float64
+			for i := 0; i < b.N; i++ {
+				maxILP, avgILP = compileFor(b, app, core.Options{}).ILP()
+			}
+			b.ReportMetric(float64(maxILP), "max-ILP")
+			b.ReportMetric(avgILP, "avg-ILP")
+		})
+	}
+}
+
+// BenchmarkStatePruning regenerates the Section 5.4 ablation.
+func BenchmarkStatePruning(b *testing.B) {
+	var dLUT, dFF, dBRAM float64
+	for i := 0; i < b.N; i++ {
+		pruned := hdl.EstimatePipeline(compileFor(b, apps.Toy(), core.Options{}))
+		unpruned := hdl.EstimatePipeline(compileFor(b, apps.Toy(), core.Options{DisablePruning: true}))
+		dLUT = 100 * float64(unpruned.LUTs-pruned.LUTs) / float64(pruned.LUTs)
+		dFF = 100 * float64(unpruned.FFs-pruned.FFs) / float64(pruned.FFs)
+		dBRAM = 100 * float64(unpruned.BRAM36-pruned.BRAM36) / float64(maxInt(pruned.BRAM36, 1))
+	}
+	b.ReportMetric(dLUT, "dLUT%")
+	b.ReportMetric(dFF, "dFF%")
+	b.ReportMetric(dBRAM, "dBRAM%")
+}
+
+// BenchmarkSingleFlowDegradation regenerates the Section 5.3 in-text
+// result: all packets on one map key versus the atomic toy counter.
+func BenchmarkSingleFlowDegradation(b *testing.B) {
+	packets := make([][]byte, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		packets = append(packets, pktgen.Build(pktgen.PacketSpec{TotalLen: 64}))
+	}
+	run := func(b *testing.B, opts core.Options) hwsim.Stats {
+		sim, err := hwsim.New(compileFor(b, apps.Toy(), opts), hwsim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range packets {
+			for !sim.InputFree() {
+				if err := sim.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sim.Inject(p)
+			if err := sim.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sim.RunToCompletion(1 << 24); err != nil {
+			b.Fatal(err)
+		}
+		return sim.Stats()
+	}
+	var atomicMpps, flushMpps float64
+	for i := 0; i < b.N; i++ {
+		atomicMpps = run(b, core.Options{}).Mpps(250e6)
+		flushMpps = run(b, core.Options{DisableAtomics: true}).Mpps(250e6)
+	}
+	b.ReportMetric(atomicMpps, "atomic-Mpps")
+	b.ReportMetric(flushMpps, "flush-lowered-Mpps")
+	if flushMpps >= atomicMpps {
+		b.Error("lowering atomics to flushes did not degrade single-key throughput")
+	}
+}
+
+// BenchmarkHazardPolicy compares flush against conservative stalling
+// (the Section 4.1.2 design decision).
+func BenchmarkHazardPolicy(b *testing.B) {
+	for _, policy := range []hwsim.HazardPolicy{hwsim.PolicyFlush, hwsim.PolicyStall} {
+		name := "flush"
+		if policy == hwsim.PolicyStall {
+			name = "stall"
+		}
+		b.Run(name, func(b *testing.B) {
+			app := apps.LeakyBucket()
+			traffic := app.Traffic
+			traffic.Flows = 100000
+			gen := pktgen.NewGenerator(traffic)
+			sim, err := hwsim.New(compileFor(b, app, core.Options{}), hwsim.Config{Policy: policy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := min(packetsForRun(b), 5000)
+			b.ResetTimer()
+			for _, p := range gen.Batch(n) {
+				for !sim.InputFree() {
+					if err := sim.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sim.Inject(p)
+				if err := sim.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sim.RunToCompletion(1 << 24); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(sim.Stats().Mpps(250e6), "Mpps")
+		})
+	}
+}
+
+// BenchmarkCompile measures the compiler itself — the paper notes eHDL
+// generates designs "in few seconds".
+func BenchmarkCompile(b *testing.B) {
+	for _, app := range apps.All() {
+		prog := app.MustProgram()
+		b.Run(app.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(prog, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVHDLGeneration measures the backend.
+func BenchmarkVHDLGeneration(b *testing.B) {
+	pl := compileFor(b, apps.Tunnel(), core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hdl.Generate(pl)
+	}
+}
+
+// BenchmarkSimulatorCycleRate measures the cycle-accurate simulator's
+// host-side speed (cycles of simulated hardware per wall second).
+func BenchmarkSimulatorCycleRate(b *testing.B) {
+	sh := shellFor(b, apps.Firewall(), core.Options{}, nic.ShellConfig{})
+	gen := pktgen.NewGenerator(apps.Firewall().Traffic)
+	n := packetsForRun(b)
+	b.ResetTimer()
+	rep, err := sh.RunLoad(gen.Next, n, 148.8e6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Cycles), "sim-cycles")
+}
+
+// BenchmarkVMInterpreter measures the golden-model interpreter.
+func BenchmarkVMInterpreter(b *testing.B) {
+	app := apps.Firewall()
+	prog := app.MustProgram()
+	env, err := vm.NewEnv(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := vm.New(prog, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := pktgen.NewGenerator(app.Traffic)
+	pkt := gen.Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(vm.NewPacket(pkt)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+// Command ehdl-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ehdl-bench                 # everything
+//	ehdl-bench -exp fig9a      # one experiment
+//	ehdl-bench -packets 20000  # higher-fidelity measurement points
+//
+// Experiment identifiers: table1, fig8, fig9a, fig9b, fig9c, fig10,
+// table2, table3, table4, table5, single-flow, pruning, power, hazard,
+// framing, lb.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ehdl/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		packets = flag.Int("packets", 8000, "packets per measurement point")
+		list    = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Packets: *packets}
+	all := experiments.All()
+
+	ids := experiments.IDs()
+	if *exp != "all" {
+		if _, ok := all[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
+		}
+		ids = []string{*exp}
+	}
+
+	for _, id := range ids {
+		tab, err := all[id](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+	}
+}

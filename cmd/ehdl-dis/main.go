@@ -1,0 +1,118 @@
+// Command ehdl-dis converts between the eBPF wire format and the
+// assembler text: it disassembles raw bytecode files and assembles
+// text programs back to bytecode.
+//
+// Usage:
+//
+//	ehdl-dis prog.bin              # disassemble
+//	ehdl-dis -app tunnel           # show a bundled application
+//	ehdl-dis -assemble prog.asm -o prog.bin
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/asm"
+	"ehdl/internal/ebpf"
+	elfobj "ehdl/internal/elf"
+)
+
+// pickSection prefers the requested section when present, else defers to
+// the object's single program.
+func pickSection(obj *elfobj.Object, requested string) string {
+	if _, ok := obj.Programs[requested]; ok {
+		return requested
+	}
+	return ""
+}
+
+func main() {
+	var (
+		appName  = flag.String("app", "", "print a bundled application's bytecode")
+		assemble = flag.String("assemble", "", "assemble this source file to raw bytecode")
+		outPath  = flag.String("o", "", "output file for -assemble")
+		emitELF  = flag.Bool("elf", false, "with -assemble: emit a clang-compatible ELF object instead of raw bytecode")
+		section  = flag.String("section", "xdp", "program section name for -elf / ELF inputs")
+	)
+	flag.Parse()
+
+	switch {
+	case *appName != "":
+		app, ok := apps.ByName(*appName)
+		if !ok {
+			fatal(fmt.Errorf("unknown application %q", *appName))
+		}
+		prog := app.MustProgram()
+		for _, m := range prog.Maps {
+			fmt.Printf("map %s %v key=%d value=%d entries=%d\n",
+				m.Name, m.Kind, m.KeySize, m.ValueSize, m.MaxEntries)
+		}
+		fmt.Print(ebpf.Disassemble(prog.Instructions))
+
+	case *assemble != "":
+		src, err := os.ReadFile(*assemble)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := asm.Assemble(*assemble, string(src))
+		if err != nil {
+			fatal(err)
+		}
+		var data []byte
+		if *emitELF {
+			data, err = elfobj.Marshal(prog, *section)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			data = ebpf.MarshalInstructions(prog.Instructions)
+		}
+		if *outPath == "" {
+			fmt.Printf("%d instructions, %d bytes\n", len(prog.Instructions), len(data))
+			return
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *outPath, len(data))
+
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if len(data) > 4 && string(data[:4]) == "\x7fELF" {
+			obj, err := elfobj.Load(bytes.NewReader(data))
+			if err != nil {
+				fatal(err)
+			}
+			prog, err := obj.Program(pickSection(obj, *section))
+			if err != nil {
+				fatal(err)
+			}
+			for _, m := range prog.Maps {
+				fmt.Printf("map %s %v key=%d value=%d entries=%d\n",
+					m.Name, m.Kind, m.KeySize, m.ValueSize, m.MaxEntries)
+			}
+			fmt.Print(ebpf.Disassemble(prog.Instructions))
+			return
+		}
+		insns, err := ebpf.UnmarshalInstructions(data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(ebpf.Disassemble(insns))
+
+	default:
+		fatal(fmt.Errorf("usage: ehdl-dis <file.bin> | -app <name> | -assemble <file.asm> [-o out.bin]"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command ehdl-sim runs a compiled pipeline inside the simulated NIC
+// shell under generated traffic, printing the measurements a testbed
+// traffic generator would report.
+//
+// Usage:
+//
+//	ehdl-sim -app firewall -packets 20000 -rate 148.8
+//	ehdl-sim -app leakybucket -trace caida
+//	ehdl-sim -app dnat -flows 8 -policy stall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/nic"
+	"ehdl/internal/pktgen"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "firewall", "application to run")
+		packets = flag.Int("packets", 20000, "packets to offer")
+		rate    = flag.Float64("rate", 0, "offered rate in Mpps (0: line rate for the packet size)")
+		flows   = flag.Int("flows", 0, "flow count (0: application default)")
+		pktLen  = flag.Int("pktlen", 0, "packet size (0: application default)")
+		policy  = flag.String("policy", "flush", "RAW hazard policy: flush|stall")
+		trace   = flag.String("trace", "", "replay a synthetic trace profile instead: caida|mawi")
+	)
+	flag.Parse()
+
+	app, ok := apps.ByName(*appName)
+	if !ok {
+		fatal(fmt.Errorf("unknown application %q", *appName))
+	}
+	pl, err := core.Compile(app.MustProgram(), core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := nic.ShellConfig{}
+	if *policy == "stall" {
+		cfg.Sim.Policy = hwsim.PolicyStall
+	}
+	sh, err := nic.New(pl, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := app.Setup(sh.Maps()); err != nil {
+		fatal(err)
+	}
+
+	var next func() []byte
+	frameLen := 64
+	switch *trace {
+	case "":
+		tcfg := app.Traffic
+		if *flows > 0 {
+			tcfg.Flows = *flows
+		}
+		if *pktLen > 0 {
+			tcfg.PacketLen = *pktLen
+		}
+		frameLen = tcfg.PacketLen
+		gen := pktgen.NewGenerator(tcfg)
+		next = gen.Next
+	case "caida":
+		tr := pktgen.NewTrace(pktgen.CAIDAProfile())
+		frameLen = pktgen.CAIDAProfile().MeanPacketLen
+		next = tr.Next
+	case "mawi":
+		tr := pktgen.NewTrace(pktgen.MAWIProfile())
+		frameLen = pktgen.MAWIProfile().MeanPacketLen
+		next = tr.Next
+	default:
+		fatal(fmt.Errorf("unknown trace %q", *trace))
+	}
+
+	offered := *rate * 1e6
+	if offered <= 0 {
+		offered = sh.LineRateMpps(frameLen) * 1e6
+	}
+
+	fmt.Printf("running %s: %d stages, %d packets at %.1f Mpps offered\n",
+		app.Name, pl.NumStages(), *packets, offered/1e6)
+	rep, err := sh.RunLoad(next, *packets, offered)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\nresults:\n")
+	fmt.Printf("  offered:   %8.2f Mpps (%.1f Gbps)\n", rep.OfferedMpps, rep.OfferedGbps)
+	fmt.Printf("  achieved:  %8.2f Mpps (%.1f Gbps)\n", rep.AchievedMpps, rep.AchievedGbps)
+	fmt.Printf("  received:  %d of %d (lost at input: %d)\n", rep.Received, rep.Sent, rep.Lost)
+	fmt.Printf("  latency:   avg %.0f ns, max %.0f ns\n", rep.AvgLatencyNs, rep.MaxLatencyNs)
+	fmt.Printf("  flushes:   %d (%.0f/s)\n", rep.Flushes, rep.FlushesPerS)
+	fmt.Printf("  verdicts:\n")
+	for action, count := range rep.Actions {
+		fmt.Printf("    %-12v %d\n", action, count)
+	}
+
+	fmt.Printf("\nhost-visible map state:\n")
+	for id := 0; id < sh.Maps().Len(); id++ {
+		m, _ := sh.Maps().ByID(id)
+		fmt.Printf("  %-10s %d entries\n", m.Spec().Name, m.Len())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

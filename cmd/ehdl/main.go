@@ -1,0 +1,198 @@
+// Command ehdl is the compiler front end: it takes an eBPF/XDP program
+// (a bundled evaluation application or an assembly file) and produces
+// the VHDL design plus a pipeline report.
+//
+// Usage:
+//
+//	ehdl -app router -o router.vhd
+//	ehdl -src prog.asm -report
+//	ehdl -app toy -report -no-pruning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/asm"
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	elfobj "ehdl/internal/elf"
+	"ehdl/internal/hdl"
+	"ehdl/internal/pktgen"
+	"ehdl/internal/vm"
+)
+
+func main() {
+	var (
+		appName    = flag.String("app", "", "bundled application (firewall|router|tunnel|dnat|suricata|toy|leakybucket)")
+		srcPath    = flag.String("src", "", "assembly source file (alternative to -app)")
+		objPath    = flag.String("obj", "", "eBPF ELF object file, e.g. clang -target bpf output")
+		objSection = flag.String("section", "", "program section inside -obj (default: the only one)")
+		outPath    = flag.String("o", "", "write the generated VHDL here (default: stdout summary only)")
+		tbPath     = flag.String("tb", "", "also write a self-checking VHDL testbench here")
+		report     = flag.Bool("report", false, "print the pipeline report")
+		disasm     = flag.Bool("disasm", false, "print the transformed program's bytecode")
+		frameBytes = flag.Int("frame", 64, "packet frame size in bytes")
+		noPruning  = flag.Bool("no-pruning", false, "disable state pruning (Section 5.4 ablation)")
+		noILP      = flag.Bool("no-ilp", false, "schedule one instruction per stage")
+		noFusion   = flag.Bool("no-fusion", false, "disable instruction fusion")
+		noElide    = flag.Bool("no-bounds-elision", false, "keep explicit packet bounds checks")
+		noAtomics  = flag.Bool("no-atomics", false, "lower atomics to flush-protected accesses")
+	)
+	flag.Parse()
+
+	prog, err := loadProgram(*appName, *srcPath, *objPath, *objSection)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.Options{
+		FrameBytes:           *frameBytes,
+		DisablePruning:       *noPruning,
+		DisableILP:           *noILP,
+		DisableFusion:        *noFusion,
+		DisableBoundsElision: *noElide,
+		DisableAtomics:       *noAtomics,
+	}
+	pl, err := core.Compile(prog, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(hdl.Generate(pl)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	if *tbPath != "" {
+		stimuli, err := buildStimuli(prog)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*tbPath, []byte(hdl.GenerateTestbench(pl, stimuli)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d stimuli from the reference interpreter)\n", *tbPath, len(stimuli))
+	}
+	printSummary(pl)
+	if *disasm {
+		fmt.Println("\ntransformed bytecode:")
+		fmt.Print(ebpf.Disassemble(pl.Transformed.Instructions))
+	}
+	if *report {
+		printReport(pl)
+	}
+}
+
+func loadProgram(appName, srcPath, objPath, objSection string) (*ebpf.Program, error) {
+	count := 0
+	for _, set := range []bool{appName != "", srcPath != "", objPath != ""} {
+		if set {
+			count++
+		}
+	}
+	if count > 1 {
+		return nil, fmt.Errorf("ehdl: use exactly one of -app, -src, -obj")
+	}
+	switch {
+	case objPath != "":
+		obj, err := elfobj.LoadFile(objPath)
+		if err != nil {
+			return nil, err
+		}
+		return obj.Program(objSection)
+	case appName != "":
+		app, ok := apps.ByName(appName)
+		if !ok {
+			return nil, fmt.Errorf("ehdl: unknown application %q", appName)
+		}
+		return app.Program()
+	case srcPath != "":
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(srcPath, string(src))
+	default:
+		return nil, fmt.Errorf("ehdl: -app, -src or -obj is required (try -app toy)")
+	}
+}
+
+// buildStimuli runs a handful of representative packets through the
+// reference interpreter so the testbench asserts golden verdicts.
+func buildStimuli(prog *ebpf.Program) ([]hdl.Stimulus, error) {
+	env, err := vm.NewEnv(prog)
+	if err != nil {
+		return nil, err
+	}
+	env.Now = func() uint64 { return 0 }
+	m, err := vm.New(prog, env)
+	if err != nil {
+		return nil, err
+	}
+	gen := pktgen.NewGenerator(pktgen.GeneratorConfig{Flows: 8, PacketLen: 64, Seed: 1})
+	var stimuli []hdl.Stimulus
+	for i := 0; i < 8; i++ {
+		data := gen.Next()
+		res, err := m.Run(vm.NewPacket(data))
+		if err != nil {
+			return nil, err
+		}
+		stimuli = append(stimuli, hdl.Stimulus{Packet: data, Verdict: uint8(res.Action)})
+	}
+	return stimuli, nil
+}
+
+func printSummary(pl *core.Pipeline) {
+	maxILP, avgILP := pl.ILP()
+	fmt.Printf("program %q: %d instructions -> %d pipeline stages\n",
+		pl.Prog.Name, len(pl.Prog.Instructions), pl.NumStages())
+	fmt.Printf("  transformations: %d bounds checks elided, %d instructions removed, %d fused pairs\n",
+		pl.ElidedBoundsChecks, pl.RemovedInstructions, pl.FusedPairs)
+	fmt.Printf("  ILP: max %d, avg %.2f; framing NOPs: %d\n", maxILP, avgILP, pl.FramingNOPs)
+	res := hdl.EstimateDesign(pl)
+	pct := res.PercentOf(hdl.AlveoU50())
+	fmt.Printf("  estimated resources (incl. Corundum shell): %d LUT (%.2f%%), %d FF (%.2f%%), %d BRAM36 (%.2f%%)\n",
+		res.LUTs, pct.LUT, res.FFs, pct.FF, res.BRAM36, pct.BRAM)
+}
+
+func printReport(pl *core.Pipeline) {
+	fmt.Println("\npipeline stages:")
+	for s := range pl.Stages {
+		st := &pl.Stages[s]
+		fmt.Printf("  stage %3d [%-11s] regs=%d stack=%dB", s, st.Kind, st.CarryRegCount(), st.CarryStackBytes())
+		for i := range st.Ops {
+			fmt.Printf("  | %s", st.Ops[i].Ins)
+			for _, f := range st.Ops[i].Fused {
+				fmt.Printf(" + %s", f)
+			}
+		}
+		fmt.Println()
+	}
+	if len(pl.Maps) > 0 {
+		fmt.Println("\nmap blocks:")
+		for i := range pl.Maps {
+			mb := &pl.Maps[i]
+			fmt.Printf("  %s (%v): reads@%v writes@%v atomics@%v",
+				mb.Spec.Name, mb.Spec.Kind, mb.ReadStages, mb.WriteStages, mb.AtomicStages)
+			if mb.NeedsFlush {
+				fmt.Printf("  flush: L=%d K=%d from=%d", mb.L, mb.K, mb.FlushFromStage)
+			}
+			if mb.UsesAtomics {
+				fmt.Printf("  atomic primitive")
+			}
+			if mb.WARDepth > 0 {
+				fmt.Printf("  WAR depth=%d", mb.WARDepth)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ehdl/internal/apps"
+	elfobj "ehdl/internal/elf"
+)
+
+func TestLoadProgramSources(t *testing.T) {
+	dir := t.TempDir()
+
+	// Assembly source.
+	asmPath := filepath.Join(dir, "p.asm")
+	if err := os.WriteFile(asmPath, []byte("r0 = 2\nexit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := loadProgram("", asmPath, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Instructions) != 2 {
+		t.Errorf("asm program has %d instructions", len(prog.Instructions))
+	}
+
+	// ELF object.
+	objData, err := elfobj.Marshal(apps.Toy().MustProgram(), "xdp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	objPath := filepath.Join(dir, "p.o")
+	if err := os.WriteFile(objPath, objData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err = loadProgram("", "", objPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Maps) != 1 {
+		t.Errorf("object program has %d maps", len(prog.Maps))
+	}
+
+	// Bundled application.
+	if _, err := loadProgram("router", "", "", ""); err != nil {
+		t.Error(err)
+	}
+
+	// Errors.
+	if _, err := loadProgram("router", asmPath, "", ""); err == nil {
+		t.Error("accepted both -app and -src")
+	}
+	if _, err := loadProgram("", "", "", ""); err == nil {
+		t.Error("accepted no input")
+	}
+	if _, err := loadProgram("nope", "", "", ""); err == nil {
+		t.Error("accepted an unknown app")
+	}
+}
+
+func TestBuildStimuli(t *testing.T) {
+	stimuli, err := buildStimuli(apps.Toy().MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stimuli) != 8 {
+		t.Fatalf("stimuli = %d", len(stimuli))
+	}
+	for i, st := range stimuli {
+		if len(st.Packet) == 0 {
+			t.Errorf("stimulus %d has no packet", i)
+		}
+		if st.Verdict != 3 { // the toy transmits everything in bounds
+			t.Errorf("stimulus %d verdict = %d", i, st.Verdict)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Firewall offload: the simple UDP firewall of the paper's evaluation
+// running entirely in the (simulated) NIC. Forward traffic establishes
+// connection state in the eHDLmap block; return traffic matches the
+// reverse key; unsolicited packets to privileged ports are dropped at
+// line rate. The host reads the connection table afterwards, exactly as
+// userspace eBPF tooling reads NIC-resident maps.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/nic"
+	"ehdl/internal/pktgen"
+)
+
+func main() {
+	app := apps.Firewall()
+	pl, err := core.Compile(app.MustProgram(), core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shell, err := nic.New(pl, nic.ShellConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("firewall pipeline: %d stages\n", pl.NumStages())
+	for i := range pl.Maps {
+		mb := &pl.Maps[i]
+		fmt.Printf("  map %q: reads@%v writes@%v flush=%v\n",
+			mb.Spec.Name, mb.ReadStages, mb.WriteStages, mb.NeedsFlush)
+	}
+
+	// Traffic: a mix of forward flows, their return traffic, and
+	// unsolicited probes to privileged ports.
+	gen := pktgen.NewGenerator(pktgen.GeneratorConfig{Flows: 64, PacketLen: 64, Proto: ebpf.IPProtoUDP, Seed: 2})
+	i := 0
+	next := func() []byte {
+		defer func() { i++ }()
+		switch i % 4 {
+		case 0, 1: // forward direction
+			return gen.Next()
+		case 2: // return direction of an established flow
+			f := gen.FlowAt(i % gen.FlowCount()).Reverse()
+			return pktgen.Build(pktgen.PacketSpec{Flow: f, TotalLen: 64})
+		default: // unsolicited scan of a privileged port
+			f := pktgen.Flow{SrcIP: 0xdead0000 + uint32(i), DstIP: 0x0a000001,
+				SrcPort: 40000, DstPort: 22, Proto: ebpf.IPProtoUDP}
+			return pktgen.Build(pktgen.PacketSpec{Flow: f, TotalLen: 64})
+		}
+	}
+
+	line := shell.LineRateMpps(64)
+	rep, err := shell.RunLoad(next, 40000, line*1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noffered %.1f Mpps at line rate; achieved %.1f Mpps, lost %d\n",
+		rep.OfferedMpps, rep.AchievedMpps, rep.Lost)
+	fmt.Printf("verdicts: forwarded=%d dropped=%d passed-to-kernel=%d\n",
+		rep.Actions[ebpf.XDPTx], rep.Actions[ebpf.XDPDrop], rep.Actions[ebpf.XDPPass])
+	fmt.Printf("pipeline flushes from connection-table inserts: %d\n\n", rep.Flushes)
+
+	// Host-side view.
+	conn, _ := shell.Maps().ByName("conn")
+	fmt.Printf("connection table: %d established flows\n", conn.Len())
+	shown := 0
+	conn.Iterate(func(k, v []byte) bool {
+		if shown >= 5 {
+			return false
+		}
+		src := binary.BigEndian.Uint32(k[0:4])
+		dst := binary.BigEndian.Uint32(k[4:8])
+		fmt.Printf("  %s -> %s  %d packets\n", ip4(src), ip4(dst), binary.LittleEndian.Uint64(v))
+		shown++
+		return true
+	})
+
+	stats, _ := shell.Maps().ByName("fwstats")
+	var key [4]byte
+	total, _ := stats.Lookup(key[:])
+	fmt.Printf("total UDP packets inspected: %d\n", binary.LittleEndian.Uint64(total))
+}
+
+func ip4(v uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

@@ -1,0 +1,50 @@
+// HDL generation: compile every evaluation application and write its
+// VHDL design to ./vhdl_out/, printing the per-design summary Vivado
+// users would check before synthesis. This is the artifact the eHDL
+// toolchain hands to the FPGA flow (Section 4.5).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/hdl"
+)
+
+func main() {
+	outDir := "vhdl_out"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	dev := hdl.AlveoU50()
+	fmt.Printf("target: %s (%d LUTs, %d FFs, %d BRAM36)\n\n", dev.Name, dev.LUTs, dev.FFs, dev.BRAM36)
+	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "program", "stages", "VHDL kB", "LUT %", "FF %", "BRAM %")
+
+	for _, app := range append(apps.All(), apps.Toy(), apps.LeakyBucket()) {
+		pl, err := core.Compile(app.MustProgram(), core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := hdl.Generate(pl)
+		path := filepath.Join(outDir, "ehdl_"+app.Name+".vhd")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		tb := hdl.GenerateTestbench(pl, nil)
+		if err := os.WriteFile(filepath.Join(outDir, "ehdl_"+app.Name+"_tb.vhd"), []byte(tb), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		pct := hdl.EstimateDesign(pl).PercentOf(dev)
+		fmt.Printf("%-12s %8d %8.1f %9.2f%% %9.2f%% %7.2f%%\n",
+			app.Name, pl.NumStages(), float64(len(src))/1024, pct.LUT, pct.FF, pct.BRAM)
+	}
+	fmt.Printf("\ndesigns written to %s/\n", outDir)
+}

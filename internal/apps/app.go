@@ -1,0 +1,83 @@
+// Package apps bundles the eBPF/XDP programs of the paper's evaluation
+// (Table 1): the Linux kernel's router and tunnel samples, a UDP simple
+// firewall, a dynamic NAT, the Suricata bypass filter — plus the running
+// toy example of Listings 1/2 and the leaky bucket of Section 5.3.
+//
+// Each program is written in the textual bytecode form the assembler
+// accepts, structured like the original C programs compile: explicit
+// packet bounds checks (elided by the compiler), stack-resident map
+// keys, helper calls, and atomic operations for global statistics.
+package apps
+
+import (
+	"fmt"
+
+	"ehdl/internal/asm"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+	"ehdl/internal/pktgen"
+)
+
+// App is one evaluation program and its operating context.
+type App struct {
+	// Name is the identifier used across benchmarks and reports.
+	Name string
+	// Description matches Table 1 of the paper.
+	Description string
+	// Source is the program in assembler syntax.
+	Source string
+	// SetupHost populates host-managed maps (routes, ACLs, tunnel
+	// endpoints) before traffic runs, mirroring the userspace eBPF
+	// tooling.
+	SetupHost func(set *maps.Set) error
+	// Traffic returns the generator configuration the evaluation uses
+	// for this program.
+	Traffic pktgen.GeneratorConfig
+	// P4Expressible marks whether the program can be written for the
+	// SDNet P4 baseline: DNAT cannot (Section 5: no way to update the
+	// translation tables from the data plane).
+	P4Expressible bool
+}
+
+// Program assembles the source. The result is cached per call site by
+// the callers that need it repeatedly.
+func (a *App) Program() (*ebpf.Program, error) {
+	prog, err := asm.Assemble(a.Name, a.Source)
+	if err != nil {
+		return nil, fmt.Errorf("apps: %s: %w", a.Name, err)
+	}
+	return prog, nil
+}
+
+// MustProgram is Program that panics on error.
+func (a *App) MustProgram() *ebpf.Program {
+	prog, err := a.Program()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Setup applies the host-side map population if any.
+func (a *App) Setup(set *maps.Set) error {
+	if a.SetupHost == nil {
+		return nil
+	}
+	return a.SetupHost(set)
+}
+
+// All returns the five evaluation applications in the paper's order.
+func All() []*App {
+	return []*App{Firewall(), Router(), Tunnel(), DNAT(), Suricata()}
+}
+
+// ByName resolves an application, including the extras (toy,
+// leakybucket, loadbalancer).
+func ByName(name string) (*App, bool) {
+	for _, a := range append(All(), Toy(), LeakyBucket(), LoadBalancer()) {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"ehdl/internal/ebpf"
+	"ehdl/internal/pktgen"
+)
+
+// DNAT is the dynamic NAT of Table 1: the first packet of a flow
+// selects a translated source port directly in the data plane and
+// installs the binding in the translation table; every following packet
+// of the flow is rewritten from the installed state. The data-plane map
+// update is exactly the feature the SDNet P4 baseline cannot express
+// (Section 5).
+func DNAT() *App {
+	return &App{
+		Name:        "dnat",
+		Description: "an application performing dynamic source NAT",
+		Source:      dnatSource,
+		Traffic: pktgen.GeneratorConfig{
+			Flows:     10000,
+			PacketLen: 64,
+			Proto:     ebpf.IPProtoUDP,
+		},
+		P4Expressible: false,
+	}
+}
+
+const dnatSource = `
+; Dynamic source NAT for UDP: per-flow port binding allocated in the
+; data plane on the first packet, applied to all subsequent ones.
+map nat hash key=12 value=8 entries=16384
+map natstats array key=4 value=8 entries=4
+
+r6 = r1
+r2 = *(u32 *)(r1 + 4)
+r7 = *(u32 *)(r1 + 0)
+r3 = r7
+r3 += 42
+if r3 > r2 goto pass
+
+r3 = *(u8 *)(r7 + 12)
+r4 = *(u8 *)(r7 + 13)
+r3 <<= 8
+r3 |= r4
+if r3 != 2048 goto pass
+r3 = *(u8 *)(r7 + 14)
+r3 &= 15
+if r3 != 5 goto pass
+r3 = *(u8 *)(r7 + 23)
+if r3 != 17 goto pass          ; UDP only
+
+; --- flow key at r10-16 ----------------------------------------------
+r6 = *(u32 *)(r7 + 26)         ; src ip
+r8 = *(u32 *)(r7 + 30)         ; dst ip
+r4 = *(u16 *)(r7 + 34)         ; src port
+r5 = *(u16 *)(r7 + 36)         ; dst port
+*(u32 *)(r10 - 16) = r6
+*(u32 *)(r10 - 12) = r8
+*(u16 *)(r10 - 8) = r4
+*(u16 *)(r10 - 6) = r5
+
+r1 = map[nat] ll
+r2 = r10
+r2 += -16
+call 1
+if r0 == 0 goto bind
+r9 = *(u16 *)(r0 + 0)          ; existing binding
+goto rewrite
+
+bind:
+; select a fresh port in the data plane: fold the 5-tuple into the
+; dynamic range 0xC000-0xFFFF and install the binding.
+r9 = *(u32 *)(r10 - 16)
+r3 = *(u32 *)(r10 - 12)
+r9 ^= r3
+r3 = r9
+r3 >>= 16
+r9 ^= r3
+r3 = *(u16 *)(r10 - 8)
+r9 ^= r3
+r9 &= 16383
+r9 |= 49152                    ; 0xC000
+*(u64 *)(r10 - 24) = 0
+*(u16 *)(r10 - 24) = r9
+r1 = map[nat] ll
+r2 = r10
+r2 += -16
+r3 = r10
+r3 += -24
+r4 = 0
+call 2                         ; install the binding (data-plane write)
+
+rewrite:
+; rewrite the source port with the binding, clear the UDP checksum
+; (legal for UDP over IPv4), count, and transmit.
+r3 = r9
+r3 = be16 r3
+*(u16 *)(r7 + 34) = r3
+*(u16 *)(r7 + 40) = 0
+
+*(u32 *)(r10 - 28) = 0
+r2 = r10
+r2 += -28
+r1 = map[natstats] ll
+call 1
+if r0 == 0 goto out
+r2 = 1
+lock *(u64 *)(r0 + 0) += r2
+out:
+r0 = 3                         ; XDP_TX
+exit
+
+pass:
+r0 = 2
+exit
+`

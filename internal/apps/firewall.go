@@ -1,0 +1,126 @@
+package apps
+
+import (
+	"ehdl/internal/ebpf"
+	"ehdl/internal/pktgen"
+)
+
+// Firewall is the simple UDP firewall of Table 1: it tracks
+// bidirectional connectivity of UDP flows in a connection table. A flow
+// in either direction of an established entry is forwarded; unsolicited
+// packets towards privileged ports are dropped; everything else
+// establishes state.
+func Firewall() *App {
+	return &App{
+		Name:        "firewall",
+		Description: "checks the bidirectional connectivity for UDP flows",
+		Source:      firewallSource,
+		Traffic: pktgen.GeneratorConfig{
+			Flows:     10000,
+			PacketLen: 64,
+			Proto:     ebpf.IPProtoUDP,
+		},
+		P4Expressible: true,
+	}
+}
+
+const firewallSource = `
+; Simple UDP firewall: 5-tuple connection tracking with bidirectional
+; match, like the paper's "Simple firewall" evaluation program.
+map conn hash key=12 value=8 entries=16384
+map fwstats array key=4 value=8 entries=4
+
+r6 = r1                        ; save ctx
+r2 = *(u32 *)(r1 + 4)          ; data_end
+r1 = *(u32 *)(r1 + 0)          ; data
+r3 = r1
+r3 += 42                       ; eth(14) + ip(20) + udp(8)
+if r3 > r2 goto pass           ; bounds check (hardware-elided)
+
+; --- parse: Ethernet must carry IPv4 -------------------------------
+r3 = *(u8 *)(r1 + 12)
+r4 = *(u8 *)(r1 + 13)
+r3 <<= 8
+r3 |= r4
+if r3 != 2048 goto pass        ; not IPv4: hand to the kernel
+
+; --- parse: IPv4 header, no options, UDP ---------------------------
+r3 = *(u8 *)(r1 + 14)
+r3 &= 15
+if r3 != 5 goto pass           ; IHL != 5
+r3 = *(u8 *)(r1 + 23)
+if r3 != 17 goto pass          ; not UDP
+
+; --- global statistics: total packets seen -------------------------
+*(u32 *)(r10 - 44) = 0
+r2 = r10
+r2 += -44
+r1 = map[fwstats] ll
+call 1
+if r0 == 0 goto fields
+r2 = 1
+lock *(u64 *)(r0 + 0) += r2
+
+fields:
+r2 = *(u32 *)(r6 + 0)          ; reload data (calls scratch r1-r5)
+r6 = *(u32 *)(r2 + 26)         ; src ip (raw byte order)
+r7 = *(u32 *)(r2 + 30)         ; dst ip
+r8 = *(u16 *)(r2 + 34)         ; src port
+r9 = *(u16 *)(r2 + 36)         ; dst port
+
+; --- forward-direction key at r10-16: src,dst,sport,dport ----------
+*(u32 *)(r10 - 16) = r6
+*(u32 *)(r10 - 12) = r7
+*(u16 *)(r10 - 8) = r8
+*(u16 *)(r10 - 6) = r9
+r1 = map[conn] ll
+r2 = r10
+r2 += -16
+call 1
+if r0 == 0 goto reverse
+r2 = 1
+lock *(u64 *)(r0 + 0) += r2    ; established: bump flow counter
+r0 = 3                         ; XDP_TX
+exit
+
+reverse:
+; --- reverse-direction key at r10-32: dst,src,dport,sport ----------
+*(u32 *)(r10 - 32) = r7
+*(u32 *)(r10 - 28) = r6
+*(u16 *)(r10 - 24) = r9
+*(u16 *)(r10 - 22) = r8
+r1 = map[conn] ll
+r2 = r10
+r2 += -32
+call 1
+if r0 == 0 goto newflow
+r2 = 1
+lock *(u64 *)(r0 + 0) += r2    ; return traffic of an established flow
+r0 = 3
+exit
+
+newflow:
+; unsolicited traffic to privileged ports is dropped
+r3 = r9
+r3 = be16 r3                   ; dst port, host order
+if r3 < 1024 goto drop
+
+; otherwise establish forward state and let it through
+*(u64 *)(r10 - 40) = 1
+r1 = map[conn] ll
+r2 = r10
+r2 += -16
+r3 = r10
+r3 += -40
+r4 = 0
+call 2                         ; bpf_map_update_elem
+r0 = 3
+exit
+
+pass:
+r0 = 2                         ; XDP_PASS
+exit
+drop:
+r0 = 1                         ; XDP_DROP
+exit
+`

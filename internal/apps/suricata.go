@@ -1,0 +1,174 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+	"ehdl/internal/pktgen"
+)
+
+// Suricata is the IDS bypass filter of Table 1: Suricata offloads
+// per-flow bypass decisions to XDP so that packets of already-classified
+// flows are dropped (bypassed) in the NIC with byte/packet accounting,
+// and only unclassified traffic reaches the host IDS. VLAN-tagged and
+// untagged traffic take separate parse paths, as in the generated
+// Suricata filters.
+func Suricata() *App {
+	return &App{
+		Name:        "suricata",
+		Description: "an Intrusion Detection System (IDS) bypass filter",
+		Source:      suricataSource,
+		Traffic: pktgen.GeneratorConfig{
+			Flows:     10000,
+			PacketLen: 64,
+			Proto:     ebpf.IPProtoTCP,
+		},
+		P4Expressible: true,
+	}
+}
+
+// BypassFlow installs a bypass entry for a flow from the host, the way
+// Suricata's userspace does once a flow is classified.
+func BypassFlow(set *maps.Set, f pktgen.Flow) error {
+	bypass, ok := set.ByName("bypass")
+	if !ok {
+		return fmt.Errorf("suricata: bypass map missing")
+	}
+	key := make([]byte, 12)
+	binary.BigEndian.PutUint32(key[0:4], f.SrcIP)
+	binary.BigEndian.PutUint32(key[4:8], f.DstIP)
+	binary.BigEndian.PutUint16(key[8:10], f.SrcPort)
+	binary.BigEndian.PutUint16(key[10:12], f.DstPort)
+	return bypass.Update(key, make([]byte, 16), maps.UpdateAny)
+}
+
+// BypassCounters reads the accounting of a bypassed flow.
+func BypassCounters(set *maps.Set, f pktgen.Flow) (pkts, bytes uint64, ok bool) {
+	bypass, found := set.ByName("bypass")
+	if !found {
+		return 0, 0, false
+	}
+	key := make([]byte, 12)
+	binary.BigEndian.PutUint32(key[0:4], f.SrcIP)
+	binary.BigEndian.PutUint32(key[4:8], f.DstIP)
+	binary.BigEndian.PutUint16(key[8:10], f.SrcPort)
+	binary.BigEndian.PutUint16(key[10:12], f.DstPort)
+	v, found := bypass.Lookup(key)
+	if !found {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(v[0:8]), binary.LittleEndian.Uint64(v[8:16]), true
+}
+
+const suricataSource = `
+; Suricata XDP bypass filter: flows the IDS has classified are dropped
+; in the NIC with packet/byte accounting; the rest pass to the host.
+; bypass value layout: [0:8] packets, [8:16] bytes.
+map bypass hash key=12 value=16 entries=16384
+map surstats array key=4 value=8 entries=8
+
+r6 = r1
+r2 = *(u32 *)(r1 + 4)
+r7 = *(u32 *)(r1 + 0)
+r9 = r2
+r9 -= r7                       ; packet length for the byte counter
+
+r3 = r7
+r3 += 14
+if r3 > r2 goto pass
+r3 = *(u8 *)(r7 + 12)
+r4 = *(u8 *)(r7 + 13)
+r3 <<= 8
+r3 |= r4
+if r3 == 33024 goto vlan       ; 0x8100: tagged path
+if r3 != 2048 goto pass
+
+; --- untagged IPv4 path ----------------------------------------------
+r3 = r7
+r3 += 42
+if r3 > r2 goto pass
+r3 = *(u8 *)(r7 + 14)
+r3 &= 15
+if r3 != 5 goto pass
+r3 = *(u8 *)(r7 + 23)
+if r3 == 6 goto key0           ; TCP
+if r3 != 17 goto pass          ; or UDP
+key0:
+r4 = *(u32 *)(r7 + 26)
+*(u32 *)(r10 - 16) = r4
+r4 = *(u32 *)(r7 + 30)
+*(u32 *)(r10 - 12) = r4
+r4 = *(u16 *)(r7 + 34)
+*(u16 *)(r10 - 8) = r4
+r4 = *(u16 *)(r7 + 36)
+*(u16 *)(r10 - 6) = r4
+goto lookup
+
+vlan:
+; --- 802.1Q path: all offsets shifted by four ------------------------
+r3 = r7
+r3 += 46
+if r3 > r2 goto pass
+r3 = *(u8 *)(r7 + 16)
+r4 = *(u8 *)(r7 + 17)
+r3 <<= 8
+r3 |= r4
+if r3 != 2048 goto pass        ; inner EtherType must be IPv4
+r3 = *(u8 *)(r7 + 18)
+r3 &= 15
+if r3 != 5 goto pass
+r3 = *(u8 *)(r7 + 27)
+if r3 == 6 goto key1
+if r3 != 17 goto pass
+key1:
+r4 = *(u32 *)(r7 + 30)
+*(u32 *)(r10 - 16) = r4
+r4 = *(u32 *)(r7 + 34)
+*(u32 *)(r10 - 12) = r4
+r4 = *(u16 *)(r7 + 38)
+*(u16 *)(r10 - 8) = r4
+r4 = *(u16 *)(r7 + 40)
+*(u16 *)(r10 - 6) = r4
+
+lookup:
+r1 = map[bypass] ll
+r2 = r10
+r2 += -16
+call 1
+if r0 == 0 goto tohost
+
+; bypassed flow: account packets and bytes, drop in the NIC
+r2 = 1
+lock *(u64 *)(r0 + 0) += r2
+lock *(u64 *)(r0 + 8) += r9
+*(u32 *)(r10 - 20) = 1
+r2 = r10
+r2 += -20
+r1 = map[surstats] ll
+call 1
+if r0 == 0 goto dropv
+r2 = 1
+lock *(u64 *)(r0 + 0) += r2
+dropv:
+r0 = 1                         ; XDP_DROP (bypassed)
+exit
+
+tohost:
+*(u32 *)(r10 - 20) = 0
+r2 = r10
+r2 += -20
+r1 = map[surstats] ll
+call 1
+if r0 == 0 goto passv
+r2 = 1
+lock *(u64 *)(r0 + 0) += r2
+passv:
+r0 = 2                         ; XDP_PASS: to the host IDS
+exit
+
+pass:
+r0 = 2
+exit
+`

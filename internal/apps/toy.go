@@ -1,0 +1,63 @@
+package apps
+
+import "ehdl/internal/pktgen"
+
+// Toy is the running example of the paper (Listings 1 and 2): count
+// received packets by EtherType in an array map and transmit them back.
+func Toy() *App {
+	return &App{
+		Name:        "toy",
+		Description: "per-EtherType packet counters (Listing 1/2)",
+		Source:      toySource,
+		Traffic: pktgen.GeneratorConfig{
+			Flows:     1024,
+			PacketLen: 64,
+		},
+		P4Expressible: true,
+	}
+}
+
+const toySource = `
+; Listing 1 of the eHDL paper, compiled to bytecode: classify the
+; EtherType, bump the matching counter in the stats array, transmit.
+map stats array key=4 value=8 entries=4
+
+r2 = *(u32 *)(r1 + 4)        ; data_end
+r1 = *(u32 *)(r1 + 0)        ; data
+r3 = r1
+r3 += 14
+if r3 > r2 goto drop         ; bounds check (hardware-elided)
+r3 = 0
+*(u32 *)(r10 - 4) = r3       ; key = 0
+r2 = *(u8 *)(r1 + 13)
+r1 = *(u8 *)(r1 + 12)
+r1 <<= 8
+r1 |= r2                     ; EtherType, host order
+if r1 == 34525 goto ipv6     ; ETH_P_IPV6
+if r1 == 2054 goto arp       ; ETH_P_ARP
+if r1 != 2048 goto lookup    ; ETH_P_IP
+r1 = 1
+goto store
+ipv6:
+r1 = 2
+goto store
+arp:
+r1 = 3
+store:
+*(u32 *)(r10 - 4) = r1
+lookup:
+r2 = r10
+r2 += -4
+r1 = map[stats] ll
+call 1                       ; bpf_map_lookup_elem
+r1 = r0
+r0 = 3                       ; XDP_TX
+if r1 == 0 goto out
+r2 = 1
+lock *(u64 *)(r1 + 0) += r2  ; __sync_fetch_and_add
+out:
+exit
+drop:
+r0 = 1                       ; XDP_DROP
+exit
+`

@@ -1,0 +1,301 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ehdl/internal/ebpf"
+)
+
+// toySource is the bytecode from Listing 2 of the paper, expressed in
+// the assembler syntax with labels.
+const toySource = `
+; Toy packet counter from Listing 1/2 of the eHDL paper.
+map stats array key=4 value=8 entries=4
+
+r2 = *(u32 *)(r1 + 4)     ; data_end
+r1 = *(u32 *)(r1 + 0)     ; data
+r3 = 0
+*(u32 *)(r10 - 4) = r3
+r2 = *(u8 *)(r1 + 12)
+r1 = *(u8 *)(r1 + 13)
+r1 <<= 8
+r1 |= r2
+if r1 == 34525 goto ipv6
+if r1 == 2054 goto arp
+if r1 != 2048 goto lookup
+r1 = 1
+goto store
+ipv6:
+r1 = 2
+goto store
+arp:
+r1 = 3
+store:
+*(u32 *)(r10 - 4) = r1
+lookup:
+r2 = r10
+r2 += -4
+r1 = map[stats] ll
+call 1
+r1 = r0
+r0 = 3
+if r1 == 0 goto out
+r2 = 1
+lock *(u64 *)(r1 + 0) += r2
+out:
+exit
+`
+
+func TestAssembleToy(t *testing.T) {
+	prog, err := Assemble("toy", toySource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Maps) != 1 || prog.Maps[0].Name != "stats" {
+		t.Fatalf("maps = %+v", prog.Maps)
+	}
+	if got := prog.Maps[0]; got.Kind != ebpf.MapArray || got.KeySize != 4 || got.ValueSize != 8 || got.MaxEntries != 4 {
+		t.Fatalf("stats spec = %+v", got)
+	}
+	if prog.Instructions[0].String() != "r2 = *(u32 *)(r1 + 4)" {
+		t.Errorf("instruction 0 = %s", prog.Instructions[0])
+	}
+	// The branch at "if r1 == 34525" must skip to the ipv6 label.
+	var ipv6Branch ebpf.Instruction
+	for _, ins := range prog.Instructions {
+		if ins.IsConditional() && ins.Imm == 34525 {
+			ipv6Branch = ins
+		}
+	}
+	if ipv6Branch.Off == 0 {
+		t.Error("label ipv6 did not resolve to a forward offset")
+	}
+	// Atomic increment must round-trip.
+	found := false
+	for _, ins := range prog.Instructions {
+		if ins.IsAtomic() && ins.AtomicOp() == ebpf.AtomicAdd {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("lock += did not assemble to an atomic add")
+	}
+}
+
+func TestAssembleSingleLines(t *testing.T) {
+	cases := []struct {
+		src  string
+		want ebpf.Instruction
+	}{
+		{"r1 = 5", ebpf.Mov64Imm(ebpf.R1, 5)},
+		{"r1 = -5", ebpf.Mov64Imm(ebpf.R1, -5)},
+		{"r1 = r2", ebpf.Mov64Reg(ebpf.R1, ebpf.R2)},
+		{"w3 = 9", ebpf.Mov32Imm(ebpf.R3, 9)},
+		{"w3 = w4", ebpf.Mov32Reg(ebpf.R3, ebpf.R4)},
+		{"r1 += 7", ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R1, 7)},
+		{"r1 -= r2", ebpf.ALU64Reg(ebpf.ALUSub, ebpf.R1, ebpf.R2)},
+		{"r1 *= 3", ebpf.ALU64Imm(ebpf.ALUMul, ebpf.R1, 3)},
+		{"r1 /= 2", ebpf.ALU64Imm(ebpf.ALUDiv, ebpf.R1, 2)},
+		{"r1 %= 10", ebpf.ALU64Imm(ebpf.ALUMod, ebpf.R1, 10)},
+		{"r1 &= 255", ebpf.ALU64Imm(ebpf.ALUAnd, ebpf.R1, 255)},
+		{"r1 |= r2", ebpf.ALU64Reg(ebpf.ALUOr, ebpf.R1, ebpf.R2)},
+		{"r1 ^= r1", ebpf.ALU64Reg(ebpf.ALUXor, ebpf.R1, ebpf.R1)},
+		{"r1 <<= 8", ebpf.ALU64Imm(ebpf.ALULsh, ebpf.R1, 8)},
+		{"r1 >>= 4", ebpf.ALU64Imm(ebpf.ALURsh, ebpf.R1, 4)},
+		{"r1 s>>= 4", ebpf.ALU64Imm(ebpf.ALUArsh, ebpf.R1, 4)},
+		{"w1 += w2", ebpf.ALU32Reg(ebpf.ALUAdd, ebpf.R1, ebpf.R2)},
+		{"r1 = -r1", ebpf.Neg64(ebpf.R1)},
+		{"r1 = be16 r1", ebpf.Swap(ebpf.R1, ebpf.SourceX, 16)},
+		{"r1 = le64 r1", ebpf.Swap(ebpf.R1, ebpf.SourceK, 64)},
+		{"r2 = *(u8 *)(r1 + 12)", ebpf.LoadMem(ebpf.SizeB, ebpf.R2, ebpf.R1, 12)},
+		{"r2 = *(u64 *)(r10 - 16)", ebpf.LoadMem(ebpf.SizeDW, ebpf.R2, ebpf.R10, -16)},
+		{"*(u16 *)(r3 + 2) = r4", ebpf.StoreMem(ebpf.SizeH, ebpf.R3, 2, ebpf.R4)},
+		{"*(u32 *)(r10 - 4) = 0", ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -4, 0)},
+		{"r1 = 4294967296 ll", ebpf.LoadImm64(ebpf.R1, 1<<32)},
+		{"r1 = 0x10 ll", ebpf.LoadImm64(ebpf.R1, 16)},
+		{"lock *(u32 *)(r1 + 0) += r2", ebpf.Atomic(ebpf.SizeW, ebpf.R1, 0, ebpf.R2, ebpf.AtomicAdd)},
+		{"lock *(u64 *)(r1 + 8) |= r2", ebpf.Atomic(ebpf.SizeDW, ebpf.R1, 8, ebpf.R2, ebpf.AtomicOr)},
+		{"lock *(u64 *)(r1 + 0) += r2 fetch", ebpf.Atomic(ebpf.SizeDW, ebpf.R1, 0, ebpf.R2, ebpf.AtomicAdd|ebpf.AtomicFetch)},
+		{"goto +3", ebpf.Ja(3)},
+		{"if r1 == 2048 goto +2", ebpf.JumpImmOp(ebpf.JumpEq, ebpf.R1, 2048, 2)},
+		{"if r1 != r2 goto -4", ebpf.JumpRegOp(ebpf.JumpNE, ebpf.R1, ebpf.R2, -4)},
+		{"if r3 s> -1 goto +1", ebpf.JumpImmOp(ebpf.JumpSGT, ebpf.R3, -1, 1)},
+		{"if w1 == 7 goto +1", ebpf.Jump32ImmOp(ebpf.JumpEq, ebpf.R1, 7, 1)},
+		{"if r2 & 1 goto +1", ebpf.JumpImmOp(ebpf.JumpSet, ebpf.R2, 1, 1)},
+		{"call 1", ebpf.Call(ebpf.HelperMapLookupElem)},
+		{"call bpf_ktime_get_ns", ebpf.Call(ebpf.HelperKtimeGetNs)},
+		{"exit", ebpf.Exit()},
+	}
+	for _, c := range cases {
+		ins, label, err := parseInstruction(c.src)
+		if err != nil {
+			t.Errorf("parse(%q): %v", c.src, err)
+			continue
+		}
+		if label != "" {
+			t.Errorf("parse(%q) produced unexpected label %q", c.src, label)
+		}
+		if ins != c.want {
+			t.Errorf("parse(%q) = %+v, want %+v", c.src, ins, c.want)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"r1 =",
+		"r11 = 5",
+		"r1 = *(u24 *)(r2 + 0)",
+		"r1 = *(u32 *)(w2 + 0)",
+		"if r1 == 5",
+		"if r1 ~ 5 goto +1",
+		"goto nowhere\nexit", // undefined label
+		"x: \nx:\nexit",      // duplicate label (parsed as labels)
+		"map m array key=4",  // missing attributes (caught by validate)
+		"map m funky key=4 value=4 entries=1",
+		"lock *(u64 *)(r1 + 0) ~= r2",
+		"r1 = be24 r1",
+		"call not_a_helper",
+		"w1 = 1 ll",
+		"r1 = map[oops ll",
+		"*(u32 *)(r10 - 4)",
+	}
+	for _, src := range cases {
+		if _, err := Assemble("t", src+"\nexit"); err == nil {
+			t.Errorf("Assemble(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	prog, err := Assemble("c", `
+r0 = 1 ; semicolon
+r0 = 2 // slashes
+r0 = 3 # hash
+exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Instructions) != 4 {
+		t.Fatalf("got %d instructions, want 4", len(prog.Instructions))
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	prog, err := NewBuilder("b").
+		DeclareMap(ebpf.MapSpec{Name: "m", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 4, MaxEntries: 16}).
+		Emit(ebpf.Mov64Imm(ebpf.R0, 1)).
+		JumpTo(ebpf.JumpEq, ebpf.R0, 1, "done").
+		Emit(ebpf.Mov64Imm(ebpf.R0, 2)).
+		Label("done").
+		Emit(ebpf.Exit()).
+		Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Instructions[1].Off != 1 {
+		t.Errorf("builder branch offset = %d, want 1", prog.Instructions[1].Off)
+	}
+	if _, err := NewBuilder("bad").GotoLabel("missing").Emit(ebpf.Exit()).Program(); err == nil {
+		t.Error("builder accepted an undefined label")
+	}
+	if _, err := NewBuilder("dup").Label("x").Label("x").Emit(ebpf.Exit()).Program(); err == nil {
+		t.Error("builder accepted a duplicate label")
+	}
+}
+
+// TestPropertyDisassembleReassemble checks that the disassembler output
+// for label-free programs reassembles to the identical instruction
+// stream.
+func TestPropertyDisassembleReassemble(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		prog := randomStraightLineProgram(r)
+		text := ebpf.Disassemble(prog.Instructions)
+		// Strip the "  N: " prefixes.
+		var cleaned []string
+		for _, line := range strings.Split(text, "\n") {
+			if _, rest, found := strings.Cut(line, ": "); found {
+				cleaned = append(cleaned, rest)
+			}
+		}
+		got, err := Assemble(prog.Name, strings.Join(cleaned, "\n"))
+		if err != nil {
+			t.Logf("seed %d: reassembly failed: %v\n%s", seed, err, text)
+			return false
+		}
+		if len(got.Instructions) != len(prog.Instructions) {
+			return false
+		}
+		for i := range got.Instructions {
+			if got.Instructions[i] != prog.Instructions[i] {
+				t.Logf("seed %d: instruction %d: got %v want %v", seed, i, got.Instructions[i], prog.Instructions[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomStraightLineProgram builds a small valid branch-free program.
+func randomStraightLineProgram(r *rand.Rand) *ebpf.Program {
+	reg := func() ebpf.Register { return ebpf.Register(r.Intn(10)) } // avoid r10 writes
+	n := 1 + r.Intn(20)
+	insns := make([]ebpf.Instruction, 0, n+1)
+	aluOps := []ebpf.ALUOp{ebpf.ALUAdd, ebpf.ALUSub, ebpf.ALUMul, ebpf.ALUOr, ebpf.ALUAnd, ebpf.ALULsh, ebpf.ALURsh, ebpf.ALUXor, ebpf.ALUMov, ebpf.ALUArsh}
+	sizes := []ebpf.Size{ebpf.SizeB, ebpf.SizeH, ebpf.SizeW, ebpf.SizeDW}
+	for i := 0; i < n; i++ {
+		switch r.Intn(8) {
+		case 0:
+			insns = append(insns, ebpf.ALU64Imm(aluOps[r.Intn(len(aluOps))], reg(), int32(r.Intn(1000)-500)))
+		case 1:
+			insns = append(insns, ebpf.ALU64Reg(aluOps[r.Intn(len(aluOps))], reg(), reg()))
+		case 2:
+			insns = append(insns, ebpf.LoadMem(sizes[r.Intn(4)], reg(), reg(), int16(r.Intn(64))))
+		case 3:
+			insns = append(insns, ebpf.StoreMem(sizes[r.Intn(4)], ebpf.R10, int16(-8*(1+r.Intn(8))), reg()))
+		case 4:
+			insns = append(insns, ebpf.StoreImm(sizes[r.Intn(4)], ebpf.R10, int16(-8*(1+r.Intn(8))), int32(r.Intn(256))))
+		case 5:
+			insns = append(insns, ebpf.LoadImm64(reg(), int64(r.Uint64()>>1)))
+		case 6:
+			insns = append(insns, ebpf.Atomic([]ebpf.Size{ebpf.SizeW, ebpf.SizeDW}[r.Intn(2)], reg(), int16(r.Intn(32)), reg(), ebpf.AtomicAdd))
+		case 7:
+			insns = append(insns, ebpf.Call(ebpf.HelperKtimeGetNs))
+		}
+	}
+	insns = append(insns, ebpf.Exit())
+	return &ebpf.Program{Name: "random", Instructions: insns}
+}
+
+func TestAssembleExchangeForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want ebpf.Instruction
+	}{
+		{"lock xchg *(u64 *)(r3 + 0) r2", ebpf.Atomic(ebpf.SizeDW, ebpf.R3, 0, ebpf.R2, ebpf.AtomicXchg)},
+		{"lock cmpxchg *(u32 *)(r1 - 8) r5", ebpf.Atomic(ebpf.SizeW, ebpf.R1, -8, ebpf.R5, ebpf.AtomicCmpXchg)},
+	}
+	for _, c := range cases {
+		ins, _, err := parseInstruction(c.src)
+		if err != nil {
+			t.Fatalf("parse(%q): %v", c.src, err)
+		}
+		if ins != c.want {
+			t.Errorf("parse(%q) = %+v, want %+v", c.src, ins, c.want)
+		}
+		if ins.String() != c.src {
+			t.Errorf("round trip: %q -> %q", c.src, ins.String())
+		}
+	}
+	if _, _, err := parseInstruction("lock xchg *(u64 *)(r3 + 0) w2"); err == nil {
+		t.Error("accepted a 32-bit exchange source register")
+	}
+}

@@ -1,0 +1,112 @@
+package asm
+
+import (
+	"fmt"
+
+	"ehdl/internal/ebpf"
+)
+
+// Builder constructs eBPF programs programmatically with symbolic jump
+// targets, as an alternative to the textual assembler.
+type Builder struct {
+	name    string
+	insns   []ebpf.Instruction
+	maps    []ebpf.MapSpec
+	labels  map[string]int // label -> slot offset
+	fixups  []builderFixup
+	slot    int
+	failure error
+}
+
+type builderFixup struct {
+	insIndex int
+	label    string
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int)}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.failure == nil {
+		b.failure = fmt.Errorf("asm: builder %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// DeclareMap adds a map declaration.
+func (b *Builder) DeclareMap(spec ebpf.MapSpec) *Builder {
+	b.maps = append(b.maps, spec)
+	return b
+}
+
+// Label defines a jump target at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = b.slot
+	return b
+}
+
+// Emit appends instructions verbatim.
+func (b *Builder) Emit(insns ...ebpf.Instruction) *Builder {
+	for _, ins := range insns {
+		b.insns = append(b.insns, ins)
+		b.slot += ins.Slots()
+	}
+	return b
+}
+
+// JumpTo appends "if dst <op> imm goto label".
+func (b *Builder) JumpTo(op ebpf.JumpOp, dst ebpf.Register, imm int32, label string) *Builder {
+	b.fixups = append(b.fixups, builderFixup{insIndex: len(b.insns), label: label})
+	return b.Emit(ebpf.JumpImmOp(op, dst, imm, 0))
+}
+
+// JumpRegTo appends "if dst <op> src goto label".
+func (b *Builder) JumpRegTo(op ebpf.JumpOp, dst, src ebpf.Register, label string) *Builder {
+	b.fixups = append(b.fixups, builderFixup{insIndex: len(b.insns), label: label})
+	return b.Emit(ebpf.JumpRegOp(op, dst, src, 0))
+}
+
+// GotoLabel appends an unconditional jump to label.
+func (b *Builder) GotoLabel(label string) *Builder {
+	b.fixups = append(b.fixups, builderFixup{insIndex: len(b.insns), label: label})
+	return b.Emit(ebpf.Ja(0))
+}
+
+// Program resolves all labels and validates the result.
+func (b *Builder) Program() (*ebpf.Program, error) {
+	if b.failure != nil {
+		return nil, b.failure
+	}
+	prog := &ebpf.Program{Name: b.name, Instructions: b.insns, Maps: b.maps}
+	offs := prog.SlotOffsets()
+	for _, fix := range b.fixups {
+		target, ok := b.labels[fix.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: builder %q: undefined label %q", b.name, fix.label)
+		}
+		ins := &prog.Instructions[fix.insIndex]
+		delta := target - (offs[fix.insIndex] + ins.Slots())
+		if delta < -(1<<15) || delta >= 1<<15 {
+			return nil, fmt.Errorf("asm: builder %q: jump to %q out of range", b.name, fix.label)
+		}
+		ins.Off = int16(delta)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustProgram is Program that panics on error.
+func (b *Builder) MustProgram() *ebpf.Program {
+	prog, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}

@@ -1,0 +1,25 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must either
+// produce a valid program or fail cleanly, never panic.
+func FuzzAssemble(f *testing.F) {
+	f.Add("r0 = 2\nexit")
+	f.Add(toySource)
+	f.Add("map m hash key=4 value=8 entries=16\nr1 = map[m] ll\ncall 1\nexit")
+	f.Add("if r1 == 5 goto x\nx:\nexit")
+	f.Add("lock *(u64 *)(r1 + 0) += r2\nexit")
+	f.Add("*(u32 *)(r10 - 4) = 0\nr0 = be16 r0\nexit")
+	f.Add("goto +32767\nexit")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Anything accepted must validate and disassemble.
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v", err)
+		}
+	})
+}

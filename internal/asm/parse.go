@@ -1,0 +1,464 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ehdl/internal/ebpf"
+)
+
+// operand is a parsed register or immediate.
+type operand struct {
+	reg    ebpf.Register
+	isReg  bool
+	is32   bool
+	imm    int64
+	mapRef string
+	isMap  bool
+}
+
+// parseInstruction parses one instruction line. When the instruction is
+// a branch to a label, the label is returned for later resolution and
+// the emitted offset is zero.
+func parseInstruction(line string) (ebpf.Instruction, string, error) {
+	switch {
+	case line == "exit":
+		return ebpf.Exit(), "", nil
+	case strings.HasPrefix(line, "call "):
+		return parseCall(strings.TrimSpace(line[5:]))
+	case strings.HasPrefix(line, "goto "):
+		return parseGoto(strings.TrimSpace(line[5:]))
+	case strings.HasPrefix(line, "if "):
+		return parseBranch(strings.TrimSpace(line[3:]))
+	case strings.HasPrefix(line, "lock "):
+		return parseAtomic(strings.TrimSpace(line[5:]))
+	case strings.HasPrefix(line, "*("):
+		return parseStore(line)
+	}
+	return parseAssign(line)
+}
+
+func parseCall(arg string) (ebpf.Instruction, string, error) {
+	if n, err := strconv.ParseInt(arg, 0, 32); err == nil {
+		return ebpf.Call(ebpf.HelperID(n)), "", nil
+	}
+	if id, ok := ebpf.HelperByName(arg); ok {
+		return ebpf.Call(id), "", nil
+	}
+	return ebpf.Instruction{}, "", fmt.Errorf("unknown helper %q", arg)
+}
+
+func parseGoto(arg string) (ebpf.Instruction, string, error) {
+	if off, ok := parseJumpDelta(arg); ok {
+		return ebpf.Ja(off), "", nil
+	}
+	if isIdent(arg) {
+		return ebpf.Ja(0), arg, nil
+	}
+	return ebpf.Instruction{}, "", fmt.Errorf("malformed jump target %q", arg)
+}
+
+func parseJumpDelta(arg string) (int16, bool) {
+	if !strings.HasPrefix(arg, "+") && !strings.HasPrefix(arg, "-") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(arg, 10, 16)
+	if err != nil {
+		return 0, false
+	}
+	return int16(n), true
+}
+
+// branch comparison operators, longest first so prefix matching works.
+var cmpOps = []struct {
+	tok string
+	op  ebpf.JumpOp
+}{
+	{"s>=", ebpf.JumpSGE},
+	{"s<=", ebpf.JumpSLE},
+	{"==", ebpf.JumpEq},
+	{"!=", ebpf.JumpNE},
+	{">=", ebpf.JumpGE},
+	{"<=", ebpf.JumpLE},
+	{"s>", ebpf.JumpSGT},
+	{"s<", ebpf.JumpSLT},
+	{">", ebpf.JumpGT},
+	{"<", ebpf.JumpLT},
+	{"&", ebpf.JumpSet},
+}
+
+func parseBranch(arg string) (ebpf.Instruction, string, error) {
+	cond, target, found := strings.Cut(arg, " goto ")
+	if !found {
+		return ebpf.Instruction{}, "", fmt.Errorf("conditional branch without goto")
+	}
+	cond = strings.TrimSpace(cond)
+	target = strings.TrimSpace(target)
+
+	fields := strings.Fields(cond)
+	if len(fields) != 3 {
+		return ebpf.Instruction{}, "", fmt.Errorf("malformed condition %q", cond)
+	}
+	lhs, err := parseOperand(fields[0])
+	if err != nil {
+		return ebpf.Instruction{}, "", err
+	}
+	if !lhs.isReg {
+		return ebpf.Instruction{}, "", fmt.Errorf("condition left side must be a register: %q", cond)
+	}
+	var op ebpf.JumpOp
+	opFound := false
+	for _, c := range cmpOps {
+		if fields[1] == c.tok {
+			op, opFound = c.op, true
+			break
+		}
+	}
+	if !opFound {
+		return ebpf.Instruction{}, "", fmt.Errorf("unknown comparison %q", fields[1])
+	}
+	rhs, err := parseOperand(fields[2])
+	if err != nil {
+		return ebpf.Instruction{}, "", err
+	}
+
+	cls := ebpf.ClassJMP
+	if lhs.is32 {
+		cls = ebpf.ClassJMP32
+	}
+	var ins ebpf.Instruction
+	if rhs.isReg {
+		if rhs.is32 != lhs.is32 {
+			return ebpf.Instruction{}, "", fmt.Errorf("mixed 32/64-bit comparison %q", cond)
+		}
+		ins = ebpf.Instruction{Op: uint8(cls) | uint8(ebpf.SourceX) | uint8(op), Dst: lhs.reg, Src: rhs.reg}
+	} else {
+		if rhs.imm < -(1<<31) || rhs.imm >= 1<<31 {
+			return ebpf.Instruction{}, "", fmt.Errorf("comparison immediate %d out of 32-bit range", rhs.imm)
+		}
+		ins = ebpf.Instruction{Op: uint8(cls) | uint8(ebpf.SourceK) | uint8(op), Dst: lhs.reg, Imm: int32(rhs.imm)}
+	}
+	if off, ok := parseJumpDelta(target); ok {
+		ins.Off = off
+		return ins, "", nil
+	}
+	if isIdent(target) {
+		return ins, target, nil
+	}
+	return ebpf.Instruction{}, "", fmt.Errorf("malformed jump target %q", target)
+}
+
+// parseMemRef parses "*(u32 *)(r1 + 4)" returning size, base and offset,
+// plus the remainder of the line after the closing parenthesis.
+func parseMemRef(s string) (ebpf.Size, ebpf.Register, int16, string, error) {
+	rest, found := strings.CutPrefix(s, "*(")
+	if !found {
+		return 0, 0, 0, "", fmt.Errorf("malformed memory reference %q", s)
+	}
+	sizeStr, rest, found := strings.Cut(rest, "*)")
+	if !found {
+		return 0, 0, 0, "", fmt.Errorf("malformed memory reference %q", s)
+	}
+	var size ebpf.Size
+	switch strings.TrimSpace(sizeStr) {
+	case "u8":
+		size = ebpf.SizeB
+	case "u16":
+		size = ebpf.SizeH
+	case "u32":
+		size = ebpf.SizeW
+	case "u64":
+		size = ebpf.SizeDW
+	default:
+		return 0, 0, 0, "", fmt.Errorf("unknown access size %q", strings.TrimSpace(sizeStr))
+	}
+	rest = strings.TrimSpace(rest)
+	if !strings.HasPrefix(rest, "(") {
+		return 0, 0, 0, "", fmt.Errorf("malformed address in %q", s)
+	}
+	addr, rest, found := strings.Cut(rest[1:], ")")
+	if !found {
+		return 0, 0, 0, "", fmt.Errorf("unterminated address in %q", s)
+	}
+	base, off, err := parseAddress(strings.TrimSpace(addr))
+	if err != nil {
+		return 0, 0, 0, "", err
+	}
+	return size, base, off, strings.TrimSpace(rest), nil
+}
+
+// parseAddress parses "r1 + 4", "r10 - 8" or "r2".
+func parseAddress(addr string) (ebpf.Register, int16, error) {
+	var sign int64 = 1
+	regStr, offStr := addr, ""
+	if i := strings.IndexAny(addr, "+-"); i >= 0 {
+		if addr[i] == '-' {
+			sign = -1
+		}
+		regStr = strings.TrimSpace(addr[:i])
+		offStr = strings.TrimSpace(addr[i+1:])
+	}
+	reg, is32, ok := parseRegister(regStr)
+	if !ok || is32 {
+		return 0, 0, fmt.Errorf("malformed base register %q", regStr)
+	}
+	if offStr == "" {
+		return reg, 0, nil
+	}
+	n, err := strconv.ParseInt(offStr, 0, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("malformed offset %q: %v", offStr, err)
+	}
+	return reg, int16(sign * n), nil
+}
+
+func parseStore(line string) (ebpf.Instruction, string, error) {
+	size, base, off, rest, err := parseMemRef(line)
+	if err != nil {
+		return ebpf.Instruction{}, "", err
+	}
+	val, found := strings.CutPrefix(rest, "=")
+	if !found {
+		return ebpf.Instruction{}, "", fmt.Errorf("store without value: %q", line)
+	}
+	op, err := parseOperand(strings.TrimSpace(val))
+	if err != nil {
+		return ebpf.Instruction{}, "", err
+	}
+	if op.isReg {
+		return ebpf.StoreMem(size, base, off, op.reg), "", nil
+	}
+	if op.imm < -(1<<31) || op.imm >= 1<<31 {
+		return ebpf.Instruction{}, "", fmt.Errorf("store immediate %d out of 32-bit range", op.imm)
+	}
+	return ebpf.StoreImm(size, base, off, int32(op.imm)), "", nil
+}
+
+func parseAtomic(arg string) (ebpf.Instruction, string, error) {
+	// Exchange forms: "lock xchg *(u64 *)(r1 + 0) r2" and
+	// "lock cmpxchg *(u64 *)(r1 + 0) r2" (cmpxchg compares against R0).
+	for _, x := range []struct {
+		prefix string
+		op     ebpf.AtomicOp
+	}{{"xchg ", ebpf.AtomicXchg}, {"cmpxchg ", ebpf.AtomicCmpXchg}} {
+		memAndSrc, found := strings.CutPrefix(arg, x.prefix)
+		if !found {
+			continue
+		}
+		size, base, off, rest, err := parseMemRef(strings.TrimSpace(memAndSrc))
+		if err != nil {
+			return ebpf.Instruction{}, "", err
+		}
+		src, is32, ok := parseRegister(strings.TrimSpace(rest))
+		if !ok || is32 {
+			return ebpf.Instruction{}, "", fmt.Errorf("malformed %s source %q", strings.TrimSpace(x.prefix), rest)
+		}
+		return ebpf.Atomic(size, base, off, src, x.op), "", nil
+	}
+
+	size, base, off, rest, err := parseMemRef(arg)
+	if err != nil {
+		return ebpf.Instruction{}, "", err
+	}
+	var op ebpf.AtomicOp
+	var opTok string
+	for _, c := range []struct {
+		tok string
+		op  ebpf.AtomicOp
+	}{{"+=", ebpf.AtomicAdd}, {"|=", ebpf.AtomicOr}, {"&=", ebpf.AtomicAnd}, {"^=", ebpf.AtomicXor}} {
+		if strings.HasPrefix(rest, c.tok) {
+			op, opTok = c.op, c.tok
+			break
+		}
+	}
+	if opTok == "" {
+		return ebpf.Instruction{}, "", fmt.Errorf("unknown atomic operation in %q", arg)
+	}
+	rest = strings.TrimSpace(strings.TrimPrefix(rest, opTok))
+	if fetchless, found := strings.CutSuffix(rest, " fetch"); found {
+		op |= ebpf.AtomicFetch
+		rest = strings.TrimSpace(fetchless)
+	}
+	src, is32, ok := parseRegister(rest)
+	if !ok || is32 {
+		return ebpf.Instruction{}, "", fmt.Errorf("malformed atomic source %q", rest)
+	}
+	return ebpf.Atomic(size, base, off, src, op), "", nil
+}
+
+// alu compound-assignment operators, longest first.
+var aluOps = []struct {
+	tok string
+	op  ebpf.ALUOp
+}{
+	{"s>>=", ebpf.ALUArsh},
+	{"<<=", ebpf.ALULsh},
+	{">>=", ebpf.ALURsh},
+	{"+=", ebpf.ALUAdd},
+	{"-=", ebpf.ALUSub},
+	{"*=", ebpf.ALUMul},
+	{"/=", ebpf.ALUDiv},
+	{"%=", ebpf.ALUMod},
+	{"&=", ebpf.ALUAnd},
+	{"|=", ebpf.ALUOr},
+	{"^=", ebpf.ALUXor},
+}
+
+func parseAssign(line string) (ebpf.Instruction, string, error) {
+	// Destination register first.
+	var dstStr string
+	var rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		dstStr, rest = line[:i], strings.TrimSpace(line[i:])
+	} else {
+		return ebpf.Instruction{}, "", fmt.Errorf("malformed statement %q", line)
+	}
+	dst, is32, ok := parseRegister(dstStr)
+	if !ok {
+		return ebpf.Instruction{}, "", fmt.Errorf("expected destination register, got %q", dstStr)
+	}
+	cls := ebpf.ClassALU64
+	if is32 {
+		cls = ebpf.ClassALU
+	}
+
+	// Compound assignment: "rX += ...".
+	for _, c := range aluOps {
+		if rhs, found := strings.CutPrefix(rest, c.tok+" "); found {
+			return parseALURHS(cls, c.op, dst, strings.TrimSpace(rhs), is32)
+		}
+	}
+
+	rhs, found := strings.CutPrefix(rest, "= ")
+	if !found {
+		return ebpf.Instruction{}, "", fmt.Errorf("malformed statement %q", line)
+	}
+	rhs = strings.TrimSpace(rhs)
+
+	switch {
+	case strings.HasPrefix(rhs, "*("): // load
+		size, base, off, trailing, err := parseMemRef(rhs)
+		if err != nil {
+			return ebpf.Instruction{}, "", err
+		}
+		if trailing != "" {
+			return ebpf.Instruction{}, "", fmt.Errorf("trailing input %q", trailing)
+		}
+		if is32 {
+			return ebpf.Instruction{}, "", fmt.Errorf("loads target 64-bit registers: %q", line)
+		}
+		return ebpf.LoadMem(size, dst, base, off), "", nil
+
+	case strings.HasPrefix(rhs, "-"): // negation of a register, or negative immediate
+		if src, srcIs32, ok := parseRegister(strings.TrimSpace(rhs[1:])); ok {
+			if src != dst || srcIs32 != is32 {
+				return ebpf.Instruction{}, "", fmt.Errorf("negation must be in place: %q", line)
+			}
+			return ebpf.Instruction{Op: uint8(cls) | uint8(ebpf.ALUNeg), Dst: dst}, "", nil
+		}
+
+	case strings.HasPrefix(rhs, "be") || strings.HasPrefix(rhs, "le"): // byte swap
+		if ins, ok, err := parseSwap(cls, dst, rhs, is32); ok || err != nil {
+			return ins, "", err
+		}
+
+	case strings.HasSuffix(rhs, " ll"): // 64-bit immediate or map reference
+		if is32 {
+			return ebpf.Instruction{}, "", fmt.Errorf("lddw targets 64-bit registers: %q", line)
+		}
+		return parseLDDW(dst, strings.TrimSpace(strings.TrimSuffix(rhs, " ll")))
+	}
+
+	return parseALURHS(cls, ebpf.ALUMov, dst, rhs, is32)
+}
+
+func parseSwap(cls ebpf.Class, dst ebpf.Register, rhs string, is32 bool) (ebpf.Instruction, bool, error) {
+	fields := strings.Fields(rhs)
+	if len(fields) != 2 {
+		return ebpf.Instruction{}, false, nil
+	}
+	dir := fields[0][:2]
+	width, err := strconv.Atoi(fields[0][2:])
+	if err != nil {
+		return ebpf.Instruction{}, false, nil
+	}
+	src, srcIs32, ok := parseRegister(fields[1])
+	if !ok {
+		return ebpf.Instruction{}, false, nil
+	}
+	if src != dst || srcIs32 || is32 {
+		return ebpf.Instruction{}, true, fmt.Errorf("byte swap must be in place on a 64-bit register")
+	}
+	_ = cls
+	source := ebpf.SourceK
+	if dir == "be" {
+		source = ebpf.SourceX
+	}
+	ins := ebpf.Swap(dst, source, int32(width))
+	if err := ins.Validate(); err != nil {
+		return ebpf.Instruction{}, true, err
+	}
+	return ins, true, nil
+}
+
+func parseLDDW(dst ebpf.Register, arg string) (ebpf.Instruction, string, error) {
+	if name, found := strings.CutPrefix(arg, "map["); found {
+		name, closed := strings.CutSuffix(name, "]")
+		if !closed || !isIdent(name) {
+			return ebpf.Instruction{}, "", fmt.Errorf("malformed map reference %q", arg)
+		}
+		return ebpf.LoadMapRef(dst, name), "", nil
+	}
+	n, err := strconv.ParseInt(arg, 0, 64)
+	if err != nil {
+		return ebpf.Instruction{}, "", fmt.Errorf("malformed 64-bit immediate %q: %v", arg, err)
+	}
+	return ebpf.LoadImm64(dst, n), "", nil
+}
+
+func parseALURHS(cls ebpf.Class, op ebpf.ALUOp, dst ebpf.Register, rhs string, is32 bool) (ebpf.Instruction, string, error) {
+	o, err := parseOperand(rhs)
+	if err != nil {
+		return ebpf.Instruction{}, "", err
+	}
+	if o.isReg {
+		if o.is32 != is32 {
+			return ebpf.Instruction{}, "", fmt.Errorf("mixed 32/64-bit operands in %q", rhs)
+		}
+		return ebpf.Instruction{Op: uint8(cls) | uint8(ebpf.SourceX) | uint8(op), Dst: dst, Src: o.reg}, "", nil
+	}
+	if o.imm < -(1<<31) || o.imm >= 1<<31 {
+		return ebpf.Instruction{}, "", fmt.Errorf("immediate %d out of 32-bit range (use 'll')", o.imm)
+	}
+	return ebpf.Instruction{Op: uint8(cls) | uint8(ebpf.SourceK) | uint8(op), Dst: dst, Imm: int32(o.imm)}, "", nil
+}
+
+func parseOperand(s string) (operand, error) {
+	if reg, is32, ok := parseRegister(s); ok {
+		return operand{reg: reg, isReg: true, is32: is32}, nil
+	}
+	n, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return operand{}, fmt.Errorf("malformed operand %q", s)
+	}
+	return operand{imm: n}, nil
+}
+
+func parseRegister(s string) (reg ebpf.Register, is32, ok bool) {
+	if len(s) < 2 || len(s) > 3 {
+		return 0, false, false
+	}
+	switch s[0] {
+	case 'r':
+	case 'w':
+		is32 = true
+	default:
+		return 0, false, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 10 {
+		return 0, false, false
+	}
+	return ebpf.Register(n), is32, true
+}

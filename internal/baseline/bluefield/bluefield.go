@@ -1,0 +1,147 @@
+// Package bluefield models the NVIDIA Bluefield-2 DPU baseline of the
+// paper: eBPF programs run in the XDP hook of the Arm cores' kernel,
+// with the embedded switch steering packets to the CPUs.
+//
+// The model follows how the paper uses the platform — an
+// order-of-magnitude processor baseline whose throughput grows linearly
+// with cores (Figure 9a: "comparable to hXDP when using a single Arm
+// core ... growing linearly to over 10Mpps when using multiple cores").
+// Per-packet cost = fixed driver/steering overhead + instruction
+// execution time on an A72, measured from the reference interpreter's
+// dynamic counts.
+package bluefield
+
+import (
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+	"ehdl/internal/pktgen"
+	"ehdl/internal/vm"
+)
+
+// Model parameterises the DPU.
+type Model struct {
+	// Cores used for packet processing (1-8). 0 means 1.
+	Cores int
+	// ClockHz of the Arm A72 cores. 0 means 2.75 GHz.
+	ClockHz float64
+	// CPI is the average cycles per eBPF instruction in the kernel
+	// interpreter-free (JITed) path, including L1 effects. 0 means 1.3.
+	CPI float64
+	// PerPacketOverheadNs covers the embedded-switch steering, the
+	// receive descriptor handling and the XDP driver path. 0 means 310.
+	PerPacketOverheadNs float64
+	// HelperOverheadNs is the extra cost of one helper call (map
+	// lookups walk kernel hash tables). 0 means 28.
+	HelperOverheadNs float64
+	// ScalingEfficiency discounts multi-core scaling. 0 means 0.97.
+	ScalingEfficiency float64
+}
+
+// New returns the published configuration with n cores.
+func New(n int) *Model { return &Model{Cores: n} }
+
+func (m *Model) cores() int {
+	if m.Cores <= 0 {
+		return 1
+	}
+	if m.Cores > 8 {
+		return 8
+	}
+	return m.Cores
+}
+
+func (m *Model) clock() float64 {
+	if m.ClockHz <= 0 {
+		return 2.75e9
+	}
+	return m.ClockHz
+}
+
+func (m *Model) cpi() float64 {
+	if m.CPI <= 0 {
+		return 1.3
+	}
+	return m.CPI
+}
+
+func (m *Model) overhead() float64 {
+	if m.PerPacketOverheadNs <= 0 {
+		return 310
+	}
+	return m.PerPacketOverheadNs
+}
+
+func (m *Model) helperNs() float64 {
+	if m.HelperOverheadNs <= 0 {
+		return 28
+	}
+	return m.HelperOverheadNs
+}
+
+func (m *Model) scaling() float64 {
+	if m.ScalingEfficiency <= 0 {
+		return 0.97
+	}
+	return m.ScalingEfficiency
+}
+
+// Report summarises a traffic run.
+type Report struct {
+	Packets      uint64
+	NsPerPacket  float64
+	Mpps         float64
+	AvgLatencyNs float64
+	Cores        int
+}
+
+// Run prices the traffic on the DPU model using the reference
+// interpreter for dynamic instruction and helper counts.
+func (m *Model) Run(prog *ebpf.Program, env *vm.Env, packets [][]byte) (Report, error) {
+	machine, err := vm.New(prog, env)
+	if err != nil {
+		return Report{}, err
+	}
+	var totalNs float64
+	var rep Report
+	for _, data := range packets {
+		res, err := machine.Run(vm.NewPacket(data))
+		if err != nil {
+			return Report{}, err
+		}
+		instrNs := float64(res.Steps) * m.cpi() / m.clock() * 1e9
+		totalNs += m.overhead() + instrNs + float64(res.HelperCalls)*m.helperNs()
+		rep.Packets++
+	}
+	if rep.Packets > 0 {
+		rep.NsPerPacket = totalNs / float64(rep.Packets)
+	}
+	// Cores process independent packets in parallel; latency stays
+	// per-core, throughput scales.
+	scale := 1.0
+	for c := 1; c < m.cores(); c++ {
+		scale += m.scaling()
+	}
+	rep.Mpps = 1e3 / rep.NsPerPacket * scale
+	rep.AvgLatencyNs = rep.NsPerPacket
+	rep.Cores = m.cores()
+	return rep, nil
+}
+
+// RunApp is the convenience wrapper used by the benchmarks.
+func (m *Model) RunApp(prog *ebpf.Program, setup func(*maps.Set) error, gen *pktgen.Generator, n int) (Report, error) {
+	env, err := vm.NewEnv(prog)
+	if err != nil {
+		return Report{}, err
+	}
+	env.Now = func() uint64 { return 0 }
+	if setup != nil {
+		if err := setup(env.Maps); err != nil {
+			return Report{}, err
+		}
+	}
+	return m.Run(prog, env, gen.Batch(n))
+}
+
+// HostPowerWatts is the measured wall power of the machine hosting the
+// DPU (Section 5.2: 100-105 W, against 80-85 W for the U50 host).
+func (m *Model) HostPowerWatts() (min, max float64) { return 100, 105 }

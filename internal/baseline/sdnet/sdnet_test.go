@@ -1,0 +1,50 @@
+package sdnet
+
+import (
+	"errors"
+	"testing"
+
+	"ehdl/internal/apps"
+)
+
+func TestParserStatesFollowParseDepth(t *testing.T) {
+	shallow, err := Compile(apps.Toy()) // EtherType only
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Compile(apps.Firewall()) // through UDP
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.ParserStates >= deep.ParserStates {
+		t.Errorf("parser states: toy %d vs firewall %d", shallow.ParserStates, deep.ParserStates)
+	}
+}
+
+func TestTablesMirrorMaps(t *testing.T) {
+	d, err := Compile(apps.Router())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2 (routes + stats)", len(d.Tables))
+	}
+	if d.Tables[0].Name != "routes" || d.Tables[0].KeyBits != 64 {
+		t.Errorf("table 0 = %+v", d.Tables[0])
+	}
+}
+
+func TestRejectionError(t *testing.T) {
+	_, err := Compile(apps.DNAT())
+	if !errors.Is(err, ErrNotExpressible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMoreTablesMoreResources(t *testing.T) {
+	one, _ := Compile(apps.Toy())
+	two, _ := Compile(apps.Suricata())
+	if two.Resources().LUTs <= one.Resources().LUTs {
+		t.Error("a second table should cost resources")
+	}
+}

@@ -1,0 +1,287 @@
+// Package cfg builds and analyses the control-flow graph of an eBPF
+// program: basic blocks, reverse post-order, dominators and back-edge
+// detection.
+//
+// The eHDL compiler requires a strictly forward-feeding pipeline
+// (Section 3.5 of the paper); backward branches only occur in bounded
+// loops, which Unroll rewrites into straight-line copies so that the
+// remaining graph is acyclic.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"ehdl/internal/ebpf"
+)
+
+// Block is a maximal straight-line instruction sequence.
+type Block struct {
+	ID    int
+	Start int // first instruction index
+	End   int // one past the last instruction index
+	Succs []int
+	Preds []int
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// Graph is the control-flow graph of a program.
+type Graph struct {
+	Prog    *ebpf.Program
+	Blocks  []Block
+	blockOf []int // instruction index -> block ID
+}
+
+// Build constructs the CFG. The program must validate.
+func Build(prog *ebpf.Program) (*Graph, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(prog.Instructions)
+
+	// Block leaders: entry, branch targets, and branch/exit successors.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, ins := range prog.Instructions {
+		if ins.IsBranch() {
+			t, ok := prog.BranchTarget(i)
+			if !ok {
+				return nil, fmt.Errorf("cfg: unresolvable branch at %d", i)
+			}
+			leader[t] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if ins.IsExit() && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	g := &Graph{Prog: prog, blockOf: make([]int, n)}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.Blocks = append(g.Blocks, Block{ID: len(g.Blocks), Start: i})
+		}
+		g.blockOf[i] = len(g.Blocks) - 1
+	}
+	for i := range g.Blocks {
+		if i+1 < len(g.Blocks) {
+			g.Blocks[i].End = g.Blocks[i+1].Start
+		} else {
+			g.Blocks[i].End = n
+		}
+	}
+
+	// Edges.
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := prog.Instructions[b.End-1]
+		switch {
+		case last.IsExit():
+			// no successors
+		case last.IsBranch():
+			t, _ := prog.BranchTarget(b.End - 1)
+			b.Succs = append(b.Succs, g.blockOf[t])
+			if last.IsConditional() && b.End < n {
+				b.Succs = appendUnique(b.Succs, g.blockOf[b.End])
+			}
+		default:
+			if b.End < n {
+				b.Succs = append(b.Succs, g.blockOf[b.End])
+			} else {
+				return nil, fmt.Errorf("cfg: block %d falls off the program end", b.ID)
+			}
+		}
+	}
+	for i := range g.Blocks {
+		for _, s := range g.Blocks[i].Succs {
+			g.Blocks[s].Preds = appendUnique(g.Blocks[s].Preds, i)
+		}
+	}
+	return g, nil
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, have := range s {
+		if have == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// BlockOf returns the ID of the block containing instruction index i.
+func (g *Graph) BlockOf(i int) int { return g.blockOf[i] }
+
+// ReversePostOrder returns block IDs in reverse post-order from the
+// entry block. Unreachable blocks are omitted.
+func (g *Graph) ReversePostOrder() []int {
+	visited := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Reachable returns the set of blocks reachable from the entry.
+func (g *Graph) Reachable() []bool {
+	visited := make([]bool, len(g.Blocks))
+	stack := []int{0}
+	visited[0] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[b].Succs {
+			if !visited[s] {
+				visited[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return visited
+}
+
+// BackEdge is a control-flow edge whose target does not come after its
+// source in the DFS, i.e. a loop edge.
+type BackEdge struct {
+	From int // source block ID
+	To   int // target block ID (the loop header)
+}
+
+// BackEdges finds loop edges with a DFS colouring.
+func (g *Graph) BackEdges() []BackEdge {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]int, len(g.Blocks))
+	var edges []BackEdge
+	var dfs func(int)
+	dfs = func(b int) {
+		colour[b] = grey
+		for _, s := range g.Blocks[b].Succs {
+			switch colour[s] {
+			case white:
+				dfs(s)
+			case grey:
+				edges = append(edges, BackEdge{From: b, To: s})
+			}
+		}
+		colour[b] = black
+	}
+	dfs(0)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges
+}
+
+// IsAcyclic reports whether the graph has no loops, the property the
+// pipeline generator requires after unrolling.
+func (g *Graph) IsAcyclic() bool { return len(g.BackEdges()) == 0 }
+
+// Dominators computes the immediate-dominator-free full dominator sets
+// with the classic iterative data-flow algorithm. dom[b] reports, for
+// each block a, whether a dominates b.
+func (g *Graph) Dominators() [][]bool {
+	n := len(g.Blocks)
+	dom := make([][]bool, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		for j := range dom[i] {
+			dom[i][j] = true // all blocks, refined below
+		}
+	}
+	for j := range dom[0] {
+		dom[0][j] = j == 0
+	}
+	rpo := g.ReversePostOrder()
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			next := make([]bool, n)
+			first := true
+			for _, p := range g.Blocks[b].Preds {
+				if first {
+					copy(next, dom[p])
+					first = false
+					continue
+				}
+				for j := range next {
+					next[j] = next[j] && dom[p][j]
+				}
+			}
+			if first {
+				// Unreachable block: dominated only by itself.
+				next = make([]bool, n)
+			}
+			next[b] = true
+			for j := range next {
+				if next[j] != dom[b][j] {
+					dom[b] = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// TopologicalBlocks returns the reachable blocks in a topological order
+// of the acyclic CFG, preferring original program order among ready
+// blocks so the pipeline layout matches the bytecode layout. It fails if
+// the graph still has loops.
+func (g *Graph) TopologicalBlocks() ([]int, error) {
+	if !g.IsAcyclic() {
+		return nil, fmt.Errorf("cfg: graph has back edges; unroll loops first")
+	}
+	reach := g.Reachable()
+	indeg := make([]int, len(g.Blocks))
+	for i := range g.Blocks {
+		if !reach[i] {
+			continue
+		}
+		for _, s := range g.Blocks[i].Succs {
+			indeg[s]++
+		}
+	}
+	var order []int
+	ready := []int{0}
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		b := ready[0]
+		ready = ready[1:]
+		order = append(order, b)
+		for _, s := range g.Blocks[b].Succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return order, nil
+}

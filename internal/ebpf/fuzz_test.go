@@ -1,0 +1,22 @@
+package ebpf
+
+import "testing"
+
+// FuzzUnmarshal decodes arbitrary byte streams: truncated or malformed
+// input must error, and everything accepted must re-encode to the same
+// bytes.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(MarshalInstructions([]Instruction{Mov64Imm(R0, 2), Exit()}))
+	f.Add(MarshalInstructions([]Instruction{LoadImm64(R1, 1<<40), Exit()}))
+	f.Add(make([]byte, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		insns, err := UnmarshalInstructions(data)
+		if err != nil {
+			return
+		}
+		out := MarshalInstructions(insns)
+		if string(out) != string(data) {
+			t.Fatalf("re-encode mismatch: %x vs %x", out, data)
+		}
+	})
+}

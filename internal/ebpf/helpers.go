@@ -1,0 +1,169 @@
+package ebpf
+
+// HelperID identifies an eBPF helper function. The numbering follows the
+// Linux UAPI so bytecode produced from real kernel programs resolves to
+// the same helpers.
+type HelperID int32
+
+// Helper functions the toolchain knows about. The eHDL compiler maps
+// each to a template hardware block (Section 3.4.2 of the paper); map
+// access helpers instead share an eHDLmap block per map (Section 4.1).
+const (
+	HelperUnspec             HelperID = 0
+	HelperMapLookupElem      HelperID = 1
+	HelperMapUpdateElem      HelperID = 2
+	HelperMapDeleteElem      HelperID = 3
+	HelperKtimeGetNs         HelperID = 5
+	HelperGetPrandomU32      HelperID = 7
+	HelperGetSMPProcessorID  HelperID = 8
+	HelperL3CsumReplace      HelperID = 10
+	HelperL4CsumReplace      HelperID = 11
+	HelperRedirect           HelperID = 23
+	HelperXDPAdjustHead      HelperID = 44
+	HelperRedirectMap        HelperID = 51
+	HelperFibLookup          HelperID = 69
+	HelperXDPAdjustTail      HelperID = 65
+	HelperCsumDiff           HelperID = 28
+	HelperGetSocketCookie    HelperID = 46
+	HelperSpinLock           HelperID = 93
+	HelperSpinUnlock         HelperID = 94
+	HelperJiffies64          HelperID = 118
+	HelperKtimeGetBootNs     HelperID = 125
+	HelperKtimeGetCoarseNs   HelperID = 160
+	HelperLoopHelper         HelperID = 181
+	HelperMapLookupPercpuEl  HelperID = 195
+	helperMaxKnown           HelperID = 200
+	helperNameUnknownPattern          = "helper_%d"
+)
+
+// helperNames maps helper identifiers to their kernel names.
+var helperNames = map[HelperID]string{
+	HelperMapLookupElem:     "bpf_map_lookup_elem",
+	HelperMapUpdateElem:     "bpf_map_update_elem",
+	HelperMapDeleteElem:     "bpf_map_delete_elem",
+	HelperKtimeGetNs:        "bpf_ktime_get_ns",
+	HelperGetPrandomU32:     "bpf_get_prandom_u32",
+	HelperGetSMPProcessorID: "bpf_get_smp_processor_id",
+	HelperL3CsumReplace:     "bpf_l3_csum_replace",
+	HelperL4CsumReplace:     "bpf_l4_csum_replace",
+	HelperRedirect:          "bpf_redirect",
+	HelperXDPAdjustHead:     "bpf_xdp_adjust_head",
+	HelperRedirectMap:       "bpf_redirect_map",
+	HelperFibLookup:         "bpf_fib_lookup",
+	HelperXDPAdjustTail:     "bpf_xdp_adjust_tail",
+	HelperCsumDiff:          "bpf_csum_diff",
+	HelperGetSocketCookie:   "bpf_get_socket_cookie",
+	HelperSpinLock:          "bpf_spin_lock",
+	HelperSpinUnlock:        "bpf_spin_unlock",
+	HelperJiffies64:         "bpf_jiffies64",
+	HelperKtimeGetBootNs:    "bpf_ktime_get_boot_ns",
+	HelperKtimeGetCoarseNs:  "bpf_ktime_get_coarse_ns",
+}
+
+// helperIDs is the reverse of helperNames, built at init.
+var helperIDs = func() map[string]HelperID {
+	m := make(map[string]HelperID, len(helperNames))
+	for id, name := range helperNames {
+		m[name] = id
+	}
+	return m
+}()
+
+// Name returns the kernel name of the helper, or a synthetic
+// "helper_<n>" for helpers this package does not know.
+func (h HelperID) Name() string {
+	if name, ok := helperNames[h]; ok {
+		return name
+	}
+	return sprintfHelper(h)
+}
+
+// HelperByName resolves a kernel helper name to its identifier.
+func HelperByName(name string) (HelperID, bool) {
+	id, ok := helperIDs[name]
+	return id, ok
+}
+
+// AccessesMap reports whether the helper reads or writes eBPF map
+// memory. Such helpers share a per-map hardware block in the generated
+// pipeline instead of being replicated per call site.
+func (h HelperID) AccessesMap() bool {
+	switch h {
+	case HelperMapLookupElem, HelperMapUpdateElem, HelperMapDeleteElem, HelperRedirectMap:
+		return true
+	}
+	return false
+}
+
+// WritesMap reports whether the helper mutates map memory.
+func (h HelperID) WritesMap() bool {
+	switch h {
+	case HelperMapUpdateElem, HelperMapDeleteElem:
+		return true
+	}
+	return false
+}
+
+// CPUOnly reports whether the helper is meaningful only on a CPU
+// implementation of eBPF; the compiler stubs these with constant blocks
+// (footnote 2 of the paper).
+func (h HelperID) CPUOnly() bool {
+	switch h {
+	case HelperGetSMPProcessorID, HelperGetSocketCookie:
+		return true
+	}
+	return false
+}
+
+// WritesPacket reports whether the helper mutates the packet buffer or
+// its geometry.
+func (h HelperID) WritesPacket() bool {
+	switch h {
+	case HelperXDPAdjustHead, HelperXDPAdjustTail, HelperL3CsumReplace, HelperL4CsumReplace:
+		return true
+	}
+	return false
+}
+
+// PipelineDepth returns the number of pipeline stages the template
+// hardware block for this helper occupies in a generated design. Complex
+// helpers are themselves pipelined (Section 3.4.2).
+func (h HelperID) PipelineDepth() int {
+	switch h {
+	case HelperMapLookupElem:
+		return 2 // hash + memory read
+	case HelperMapUpdateElem:
+		return 2 // hash + memory write
+	case HelperMapDeleteElem:
+		return 2
+	case HelperFibLookup:
+		return 3 // longest-prefix-match walk
+	case HelperL3CsumReplace, HelperL4CsumReplace, HelperCsumDiff:
+		return 2 // fold + patch
+	case HelperXDPAdjustHead, HelperXDPAdjustTail:
+		return 1
+	case HelperKtimeGetNs, HelperKtimeGetBootNs, HelperKtimeGetCoarseNs, HelperJiffies64:
+		return 1 // free-running counter sample
+	default:
+		return 1
+	}
+}
+
+func sprintfHelper(h HelperID) string {
+	// Avoid importing fmt in this tiny hot path; helpers are small ints.
+	if h < 0 {
+		return "helper_?"
+	}
+	digits := [12]byte{}
+	i := len(digits)
+	n := int64(h)
+	for {
+		i--
+		digits[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return "helper_" + string(digits[i:])
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quickCfg = Config{Packets: 1500}
+
+func run(t *testing.T, id string) Table {
+	t.Helper()
+	runner, ok := All()[id]
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	tab, err := runner(quickCfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if tab.ID != id {
+		t.Errorf("%s: table reports ID %q", id, tab.ID)
+	}
+	return tab
+}
+
+func cell(t *testing.T, tab Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tab.Columns {
+		if c == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("%s: no column %q", tab.ID, col)
+	return ""
+}
+
+func cellF(t *testing.T, tab Table, row int, col string) float64 {
+	t.Helper()
+	s := cell(t, tab, row, col)
+	s = strings.Fields(s)[0] // strip "(N lost)" suffixes
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell %q is not numeric: %v", tab.ID, s, err)
+	}
+	return v
+}
+
+func TestIDsCoverAllExperiments(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs() returned %d of %d", len(ids), len(All()))
+	}
+	for _, want := range []string{"fig8", "fig9a", "fig9b", "fig9c", "fig10", "table2", "table3", "table4", "table5", "pruning", "single-flow", "power", "hazard"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing", want)
+		}
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	tab := run(t, "fig9a")
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		name := row[0]
+		ehdl := cellF(t, tab, i, "eHDL")
+		hx := cellF(t, tab, i, "hXDP")
+		bf1 := cellF(t, tab, i, "Bf2 1c")
+		bf4 := cellF(t, tab, i, "Bf2 4c")
+		if ehdl < 140 {
+			t.Errorf("%s: eHDL %.1f Mpps, want line rate (~148)", name, ehdl)
+		}
+		if strings.Contains(row[1], "lost") {
+			t.Errorf("%s: eHDL lost packets at line rate", name)
+		}
+		if gap := ehdl / hx; gap < 10 || gap > 300 {
+			t.Errorf("%s: eHDL/hXDP gap %.0fx outside 10-100x order", name, gap)
+		}
+		if bf4 <= 3*bf1 {
+			t.Errorf("%s: Bf2 cores do not scale (%.2f vs %.2f)", name, bf4, bf1)
+		}
+		if name == "dnat" {
+			if cell(t, tab, i, "SDNet") != "n/a" {
+				t.Error("SDNet must not implement DNAT")
+			}
+		} else if cellF(t, tab, i, "SDNet") < 148 {
+			t.Errorf("%s: SDNet below line rate", name)
+		}
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	tab := run(t, "fig9b")
+	for i, row := range tab.Rows {
+		e := cellF(t, tab, i, "eHDL avg")
+		h := cellF(t, tab, i, "hXDP")
+		if e < 400 || e > 1500 {
+			t.Errorf("%s: eHDL latency %.0f ns, want ~1us", row[0], e)
+		}
+		if h < 400 || h > 2000 {
+			t.Errorf("%s: hXDP latency %.0f ns, want ~1us", row[0], h)
+		}
+	}
+}
+
+func TestFig9cShape(t *testing.T) {
+	tab := run(t, "fig9c")
+	for i, row := range tab.Rows {
+		stages := cellF(t, tab, i, "eHDL stages")
+		bundles := cellF(t, tab, i, "hXDP instr")
+		orig := cellF(t, tab, i, "Original instr")
+		if stages >= orig {
+			t.Errorf("%s: %v stages vs %v instructions: no compression", row[0], stages, orig)
+		}
+		if bundles >= orig {
+			t.Errorf("%s: hXDP bundles did not compress", row[0])
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := run(t, "fig10")
+	for i, row := range tab.Rows {
+		eh := cellF(t, tab, i, "eHDL LUT")
+		hx := cellF(t, tab, i, "hXDP LUT")
+		if eh < 5 || eh > 14 {
+			t.Errorf("%s: eHDL LUT %.2f%% outside the paper band", row[0], eh)
+		}
+		if ratio := eh / hx; ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: eHDL/hXDP not comparable (%.2f)", row[0], ratio)
+		}
+		if row[0] == "dnat" {
+			continue
+		}
+		sd := cellF(t, tab, i, "SDNet LUT")
+		if ratio := sd / eh; ratio < 1.8 || ratio > 4.5 {
+			t.Errorf("%s: SDNet/eHDL LUT ratio %.2f, want 2-4x", row[0], ratio)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab := run(t, "table2")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	caida := cellF(t, tab, 0, "# flushes/sec")
+	mawi := cellF(t, tab, 1, "# flushes/sec")
+	if cell(t, tab, 0, "# lost packets") != "0" || cell(t, tab, 1, "# lost packets") != "0" {
+		t.Error("trace replay lost packets; the paper reports zero loss")
+	}
+	if caida <= mawi {
+		t.Errorf("flush ordering: CAIDA %.0f/s <= MAWI %.0f/s; paper has CAIDA higher", caida, mawi)
+	}
+	// Order of magnitude: hundreds of thousands per second.
+	if caida < 5e4 || caida > 5e6 {
+		t.Errorf("CAIDA flush rate %.0f/s outside the plausible decade", caida)
+	}
+}
+
+func TestSingleFlowDegrades(t *testing.T) {
+	tab := run(t, "single-flow")
+	trace := cellF(t, tab, 0, "Sustained Mpps")
+	single := cellF(t, tab, 1, "Sustained Mpps")
+	if trace < 25 {
+		t.Errorf("CAIDA-profile rate %.1f Mpps, want ~29", trace)
+	}
+	if single >= trace {
+		t.Errorf("single-flow rate %.1f did not degrade from %.1f", single, trace)
+	}
+}
+
+func TestPruningShape(t *testing.T) {
+	tab := run(t, "pruning")
+	dLUT := cellF(t, tab, 2, "LUTs")
+	dFF := cellF(t, tab, 2, "FFs")
+	dBRAM := cellF(t, tab, 2, "BRAM36")
+	if dLUT < 20 || dFF <= dLUT || dBRAM <= dFF {
+		t.Errorf("pruning deltas %.0f/%.0f/%.0f%%: want growing LUT<FF<BRAM like the paper's 46/66/123", dLUT, dFF, dBRAM)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	tab := run(t, "table4")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prevK := 1e9
+	for i := range tab.Rows {
+		k := cellF(t, tab, i, "Kmax")
+		if k >= prevK {
+			t.Error("Kmax must shrink as L grows")
+		}
+		prevK = k
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tab := run(t, "table5")
+	maxSeen := 0.0
+	for i, row := range tab.Rows {
+		avg := cellF(t, tab, i, "avg ILP")
+		m := cellF(t, tab, i, "max ILP")
+		if avg < 1 || avg > 3 {
+			t.Errorf("%s: avg ILP %.2f outside the paper's 1.4-2.4 order", row[0], avg)
+		}
+		if m > maxSeen {
+			maxSeen = m
+		}
+		if row[0] == "tunnel" && m < 6 {
+			t.Errorf("tunnel max ILP %.0f: the encapsulation stores should parallelise widely", m)
+		}
+	}
+	if maxSeen < 5 {
+		t.Errorf("max ILP %f: no program reaches wide parallelism", maxSeen)
+	}
+}
+
+func TestHazardAblation(t *testing.T) {
+	tab := run(t, "hazard")
+	flushCycles := cellF(t, tab, 0, "Cycles")
+	stallCycles := cellF(t, tab, 1, "Cycles")
+	if stallCycles <= flushCycles {
+		t.Errorf("stall (%v cycles) should be slower than flush (%v) on hazard-free traffic", stallCycles, flushCycles)
+	}
+}
+
+func TestFramingAblation(t *testing.T) {
+	tab := run(t, "framing")
+	nops32 := cellF(t, tab, 0, "NOPs")
+	nops64 := cellF(t, tab, 1, "NOPs")
+	if nops32 <= nops64 {
+		t.Error("32-byte frames should need more framing NOPs")
+	}
+	ff64 := cellF(t, tab, 1, "Pipeline FFs")
+	ff128 := cellF(t, tab, 2, "Pipeline FFs")
+	if ff128 <= ff64 {
+		t.Error("wider frames should carry more state")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := run(t, "table1")
+	out := tab.String()
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "dnat") {
+		t.Errorf("rendered table malformed:\n%s", out)
+	}
+}
+
+func TestFig8MatchesPaperScale(t *testing.T) {
+	tab := run(t, "fig8")
+	if len(tab.Rows) < 15 || len(tab.Rows) > 25 {
+		t.Errorf("toy pipeline has %d stages; the paper's Figure 8 has 20", len(tab.Rows))
+	}
+}
+
+func TestLoadBalancerDemo(t *testing.T) {
+	tab := run(t, "lb")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("backends = %d", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		share := cellF(t, tab, i, "Share %")
+		if share < 10 || share > 45 {
+			t.Errorf("backend %d share %.1f%%: distribution skewed", i, share)
+		}
+	}
+}

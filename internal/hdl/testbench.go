@@ -1,0 +1,136 @@
+package hdl
+
+import (
+	"fmt"
+	"strings"
+
+	"ehdl/internal/core"
+)
+
+// GenerateTestbench renders a self-checking VHDL testbench for the
+// design Generate produces: it instantiates the pipeline, drives the
+// clock and reset, streams the supplied packets through the AXI-Stream
+// input frame by frame, and asserts the expected XDP verdicts at the
+// output — the artifact an FPGA engineer would hand to a simulator
+// before synthesis.
+//
+// Each stimulus pairs a packet with the verdict the reference
+// interpreter produced, so the testbench encodes the same golden-model
+// expectations the Go test suite checks cycle-accurately.
+func GenerateTestbench(p *core.Pipeline, stimuli []Stimulus) string {
+	var b strings.Builder
+	g := &generator{p: p, w: &b}
+	tb := &tbGen{generator: g, stimuli: stimuli}
+	tb.emit()
+	return b.String()
+}
+
+// Stimulus is one testbench vector.
+type Stimulus struct {
+	// Packet bytes streamed into s_axis, padded to whole frames.
+	Packet []byte
+	// Verdict expected on m_axis_tdest (the XDP action).
+	Verdict uint8
+}
+
+type tbGen struct {
+	*generator
+	stimuli []Stimulus
+}
+
+func (g *tbGen) emit() {
+	name := g.entityName()
+	frameBytes := g.frameBits() / 8
+
+	g.pf("-- %s_tb: self-checking testbench (%d stimuli)\n", name, len(g.stimuli))
+	g.pf("\nlibrary ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n")
+	g.pf("entity %s_tb is\nend entity %s_tb;\n\n", name, name)
+	g.pf("architecture sim of %s_tb is\n\n", name)
+	g.pf("  constant CLK_PERIOD : time := 4 ns; -- 250 MHz\n")
+	g.pf("  constant FRAME_BITS : integer := %d;\n\n", g.frameBits())
+
+	g.pf("  signal clk, rst        : std_logic := '0';\n")
+	g.pf("  signal s_tdata         : std_logic_vector(FRAME_BITS-1 downto 0) := (others => '0');\n")
+	g.pf("  signal s_tkeep         : std_logic_vector(FRAME_BITS/8-1 downto 0) := (others => '1');\n")
+	g.pf("  signal s_tvalid, s_tlast, s_tready : std_logic := '0';\n")
+	g.pf("  signal m_tdata         : std_logic_vector(FRAME_BITS-1 downto 0);\n")
+	g.pf("  signal m_tkeep         : std_logic_vector(FRAME_BITS/8-1 downto 0);\n")
+	g.pf("  signal m_tvalid, m_tlast : std_logic;\n")
+	g.pf("  signal m_tdest         : std_logic_vector(2 downto 0);\n\n")
+
+	g.pf("begin\n\n")
+	g.pf("  clk <= not clk after CLK_PERIOD / 2;\n\n")
+
+	g.pf("  dut : entity work.%s\n", name)
+	g.pf("    generic map (FRAME_BITS => FRAME_BITS)\n")
+	g.pf("    port map (\n")
+	g.pf("      clk => clk, rst => rst,\n")
+	g.pf("      s_axis_tdata => s_tdata, s_axis_tkeep => s_tkeep,\n")
+	g.pf("      s_axis_tvalid => s_tvalid, s_axis_tlast => s_tlast, s_axis_tready => s_tready,\n")
+	g.pf("      m_axis_tdata => m_tdata, m_axis_tkeep => m_tkeep,\n")
+	g.pf("      m_axis_tvalid => m_tvalid, m_axis_tlast => m_tlast, m_axis_tready => '1',\n")
+	g.pf("      m_axis_tdest => m_tdest,\n")
+	g.pf("      host_map_sel => (others => '0'), host_map_addr => (others => '0'),\n")
+	g.pf("      host_map_wdata => (others => '0'), host_map_wen => '0',\n")
+	g.pf("      host_map_rdata => open\n")
+	g.pf("    );\n\n")
+
+	g.pf("  p_stimulus : process\n  begin\n")
+	g.pf("    rst <= '1';\n    wait for 5 * CLK_PERIOD;\n    rst <= '0';\n")
+	for i, st := range g.stimuli {
+		frames := (len(st.Packet) + frameBytes - 1) / frameBytes
+		if frames == 0 {
+			frames = 1
+		}
+		g.pf("\n    -- packet %d: %d bytes, %d frame(s), expect verdict %d\n",
+			i, len(st.Packet), frames, st.Verdict)
+		for f := 0; f < frames; f++ {
+			frame := make([]byte, frameBytes)
+			copy(frame, tail(st.Packet, f*frameBytes))
+			g.pf("    s_tdata <= x\"%s\";\n", hexBE(frame))
+			last := "'0'"
+			if f == frames-1 {
+				last = "'1'"
+			}
+			g.pf("    s_tvalid <= '1'; s_tlast <= %s;\n", last)
+			g.pf("    wait for CLK_PERIOD;\n")
+		}
+		g.pf("    s_tvalid <= '0';\n")
+	}
+	g.pf("\n    wait for %d * CLK_PERIOD; -- drain the %d-stage pipeline\n",
+		len(g.p.Stages)+8, len(g.p.Stages))
+	g.pf("    wait;\n  end process;\n\n")
+
+	g.pf("  p_check : process(clk)\n")
+	g.pf("    variable received : integer := 0;\n")
+	g.pf("  begin\n")
+	g.pf("    if rising_edge(clk) and m_tvalid = '1' and m_tlast = '1' then\n")
+	g.pf("      case received is\n")
+	for i, st := range g.stimuli {
+		g.pf("        when %d => assert m_tdest = \"%03b\" report \"packet %d: wrong verdict\" severity error;\n",
+			i, st.Verdict&7, i)
+	}
+	g.pf("        when others => report \"unexpected extra packet\" severity error;\n")
+	g.pf("      end case;\n")
+	g.pf("      received := received + 1;\n")
+	g.pf("    end if;\n")
+	g.pf("  end process;\n\n")
+	g.pf("end architecture sim;\n")
+}
+
+func tail(b []byte, off int) []byte {
+	if off >= len(b) {
+		return nil
+	}
+	return b[off:]
+}
+
+// hexBE renders a frame as the VHDL hex literal with byte 0 in the low
+// lanes (little-endian AXI data).
+func hexBE(frame []byte) string {
+	var b strings.Builder
+	for i := len(frame) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "%02x", frame[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,498 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"ehdl/internal/core"
+	"ehdl/internal/ddg"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+	"ehdl/internal/vm"
+)
+
+// execStage runs the ops of stage t for job j.
+func (s *Sim) execStage(j *job, t int) error {
+	stage := &s.pl.Stages[t]
+
+	// Elastic-buffer snapshot: capture the replay state on entry to a
+	// flush re-entry stage.
+	for i := range s.pl.Maps {
+		mb := &s.pl.Maps[i]
+		if mb.NeedsFlush && mb.FlushFromStage == t && mb.FlushFromStage > 0 {
+			j.snapshot = j.capture()
+			break
+		}
+	}
+
+	if j.done || stage.Kind != core.StageNormal {
+		return nil
+	}
+
+	// PolicyStall: before anything executes, a stage reading a
+	// flush-protected map conservatively waits until no packets remain
+	// in the hazard window ahead (the FlowBlaze-style bubble insertion).
+	if s.cfg.Policy == PolicyStall && s.stallPoint < 0 {
+		if hold, drainTo := s.stallCheck(j, t); hold {
+			j.execStage = t - 1 // re-execute this stage when released
+			s.stallPoint = t + 1
+			s.stallDrainTo = drainTo
+			return nil
+		}
+	}
+
+	// Ops of one stage execute in parallel in hardware: an exit op in
+	// the stage latches the verdict without suppressing its neighbours,
+	// so done-ness is applied after the whole stage.
+	doneBefore := j.done
+	for i := range stage.Ops {
+		op := &stage.Ops[i]
+		if !hasBit(j.enabled, op.BlockID) {
+			continue
+		}
+		if s.cfg.StrictCarryCheck {
+			s.checkCarry(j, stage, op, t)
+		}
+		wasDone := j.done
+		j.done = doneBefore
+		if err := s.execOp(j, op, t); err != nil {
+			return fmt.Errorf("hwsim: cycle %d stage %d (%s): %w", s.cycle, t, op.Ins, err)
+		}
+		j.done = j.done || wasDone
+	}
+	return nil
+}
+
+// stallCheck reports whether stage t holds a read on a flush-protected
+// map while older packets occupy the read-to-write window.
+func (s *Sim) stallCheck(j *job, t int) (bool, int) {
+	stage := &s.pl.Stages[t]
+	for i := range stage.Ops {
+		op := &stage.Ops[i]
+		if op.MapID < 0 || !hasBit(j.enabled, op.BlockID) {
+			continue
+		}
+		mb := s.mapBlockOf[op.MapID]
+		if mb == nil || !mb.NeedsFlush {
+			continue
+		}
+		isRead := op.Kind == core.OpMapCall && !op.Helper.WritesMap() || op.Kind == core.OpLoad
+		if !isRead {
+			continue
+		}
+		maxW := 0
+		for _, w := range mb.WriteStages {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		for u := t + 1; u <= maxW && u < len(s.stages); u++ {
+			if s.stages[u] != nil {
+				return true, maxW
+			}
+		}
+	}
+	return false, -1
+}
+
+// checkCarry verifies pruning soundness: every register and stack byte
+// the op reads must have been latched into this stage.
+func (s *Sim) checkCarry(j *job, stage *core.Stage, op *core.Op, t int) {
+	fail := func(format string, args ...any) {
+		if s.strictErr == nil {
+			s.strictErr = fmt.Errorf("hwsim: stage %d (%s): %s", t, op.Ins, fmt.Sprintf(format, args...))
+		}
+	}
+	var defined uint16 // registers produced earlier within this op's chain
+	checkIns := func(idx int) {
+		for _, r := range core.EffectiveUses(s.pl.Info, idx) {
+			if stage.CarryRegs&(1<<r) == 0 && defined&(1<<r) == 0 {
+				fail("reads r%d which is not carried (mask %#x)", r, stage.CarryRegs)
+			}
+		}
+		for _, r := range s.pl.Transformed.Instructions[idx].Defs() {
+			defined |= 1 << r
+		}
+		acc := s.pl.Info.Accesses[idx]
+		if acc != nil && acc.Area == ddg.AreaStack && acc.Read && acc.OffKnown {
+			lo := int(acc.Off) + ebpf.StackSize
+			hi := lo + acc.Size
+			if lo < stage.CarryStackLo || hi > stage.CarryStackHi {
+				fail("reads stack [%d,%d) outside carried [%d,%d)", lo, hi, stage.CarryStackLo, stage.CarryStackHi)
+			}
+		}
+	}
+	checkIns(op.Index)
+	for _, f := range op.FusedIdx {
+		checkIns(f)
+	}
+	// Framing invariant (Section 4.2): the farthest frame this stage
+	// reaches must already be inside the pipeline.
+	if stage.FrameBypass > t {
+		fail("needs frame %d which has not entered the pipeline", stage.FrameBypass)
+	}
+	if op.Kind == core.OpMapCall && op.KeyOffKnown {
+		spec := s.pl.Transformed.Maps[op.MapID]
+		lo := int(op.KeyStackOff) + ebpf.StackSize
+		if lo < stage.CarryStackLo || lo+spec.KeySize > stage.CarryStackHi {
+			fail("map key stack bytes not carried")
+		}
+	}
+	_ = j
+}
+
+// execOp executes one micro-operation.
+func (s *Sim) execOp(j *job, op *core.Op, t int) error {
+	st := j.st
+	switch op.Kind {
+	case core.OpALU:
+		if err := vm.ExecALU(st, op.Ins); err != nil {
+			return err
+		}
+		for _, f := range op.Fused {
+			if err := vm.ExecALU(st, f); err != nil {
+				return err
+			}
+		}
+		return s.fireEnd(j, op, nil)
+
+	case core.OpLDDW:
+		if op.MapID >= 0 {
+			st.Regs[op.Ins.Dst] = vm.MapPointer(op.MapID)
+		} else {
+			st.Regs[op.Ins.Dst] = uint64(op.Ins.Imm64)
+		}
+		return s.fireEnd(j, op, nil)
+
+	case core.OpLoad:
+		addr, err := s.addrOf(j, op)
+		if err != nil {
+			return err
+		}
+		v, err := s.exec.Mem.LoadAt(st, addr, op.Ins.MemSize().Bytes())
+		if err != nil {
+			return s.memFault(j, op, err)
+		}
+		// A load from map memory through the lookup pointer observes the
+		// WAR shadow when an older packet still owns the pre-write value.
+		if op.Access != nil && op.Access.Area == ddg.AreaMap {
+			if sv, ok := s.shadowValue(op.MapID, j); ok {
+				off := int(op.Access.Off)
+				size := op.Ins.MemSize().Bytes()
+				if off >= 0 && off+size <= len(sv) {
+					v = vm.ReadUint(sv[off:], size)
+				}
+			}
+		}
+		st.Regs[op.Ins.Dst] = v
+		return s.fireEnd(j, op, nil)
+
+	case core.OpStore, core.OpAtomic:
+		addr, err := s.addrOf(j, op)
+		if err != nil {
+			return err
+		}
+		isMap := op.Access != nil && op.Access.Area == ddg.AreaMap
+		if isMap && s.debug != nil {
+			s.debug(fmt.Sprintf("cycle %d: seq %d stage %d %s (map store/atomic)", s.cycle, j.seq, t, op.Ins))
+		}
+		if isMap {
+			s.preWriteShadow(op.MapID, j)
+		}
+		if err := s.exec.Mem.StoreAt(st, op.Ins, addr); err != nil {
+			return s.memFault(j, op, err)
+		}
+		if isMap {
+			j.commits++
+			isAtomicPrimitive := op.Kind == core.OpAtomic && !s.pl.Options.DisableAtomics
+			if !isAtomicPrimitive {
+				s.rawHazardCheck(j, op.MapID, t)
+			}
+		}
+		return s.fireEnd(j, op, nil)
+
+	case core.OpBranch:
+		taken, err := vm.EvalBranch(st, op.Ins)
+		if err != nil {
+			return err
+		}
+		if taken {
+			if op.TakenBlock >= 0 {
+				setBit(j.enabled, op.TakenBlock)
+			}
+		} else if op.FallBlock >= 0 {
+			setBit(j.enabled, op.FallBlock)
+		}
+		return nil
+
+	case core.OpExit:
+		j.done = true
+		j.action = ebpf.XDPAction(uint32(st.Regs[ebpf.R0]))
+		return nil
+
+	case core.OpMapCall:
+		if err := s.execMapCall(j, op, t); err != nil {
+			return err
+		}
+		return s.fireEnd(j, op, nil)
+
+	case core.OpHelper:
+		if op.Helper.CPUOnly() {
+			// Stubbed as a constant block (footnote 2 of the paper).
+			st.Regs[ebpf.R0] = 0
+			for r := ebpf.R1; r <= ebpf.R5; r++ {
+				st.Regs[r] = 0
+			}
+			return s.fireEnd(j, op, nil)
+		}
+		redirect, err := s.exec.CallHelper(st, op.Helper)
+		if err != nil {
+			return err
+		}
+		if redirect != 0 {
+			j.redirect = redirect
+		}
+		return s.fireEnd(j, op, nil)
+	}
+	return fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// fireEnd activates the fallthrough successor when a non-branch op ends
+// its block.
+func (s *Sim) fireEnd(j *job, op *core.Op, _ error) error {
+	if op.EndsBlock && op.Kind != core.OpBranch && op.Kind != core.OpExit {
+		if op.FallBlock >= 0 {
+			setBit(j.enabled, op.FallBlock)
+		}
+	}
+	return nil
+}
+
+// addrOf resolves an op's memory address: statically wired for elided
+// bases, register-relative otherwise.
+func (s *Sim) addrOf(j *job, op *core.Op) (uint64, error) {
+	ins := op.Ins
+	if !op.BaseElided || op.Access == nil {
+		base := ins.Src
+		if ins.Class() == ebpf.ClassST || ins.Class() == ebpf.ClassSTX {
+			base = ins.Dst
+		}
+		return j.st.Regs[base] + uint64(int64(ins.Off)), nil
+	}
+	acc := op.Access
+	switch acc.Area {
+	case ddg.AreaStack:
+		return vm.StackTopAddr + uint64(acc.Off), nil
+	case ddg.AreaPacket:
+		return vm.PacketBase + uint64(j.st.Pkt.HeadIndex()) + uint64(acc.Off), nil
+	case ddg.AreaCtx:
+		return vm.CtxBase + uint64(acc.Off), nil
+	case ddg.AreaMap:
+		base, ok := j.lookupAddr[op.MapID]
+		if !ok || base == 0 {
+			return 0, fmt.Errorf("map access without a preceding lookup hit")
+		}
+		return base + uint64(acc.Off), nil
+	}
+	return 0, fmt.Errorf("unresolvable access area %v", acc.Area)
+}
+
+// memFault maps packet bounds violations to the hardware drop action
+// and propagates everything else as a simulation error.
+func (s *Sim) memFault(j *job, op *core.Op, err error) error {
+	if op.Access != nil && op.Access.Area == ddg.AreaPacket {
+		j.done = true
+		j.action = s.cfg.oobAction()
+		return nil
+	}
+	return err
+}
+
+// execMapCall implements the eHDLmap block interface: key (and value)
+// from their static stack slots or argument registers, result into R0.
+func (s *Sim) execMapCall(j *job, op *core.Op, t int) error {
+	st := j.st
+	spec := s.pl.Transformed.Maps[op.MapID]
+	mb := s.mapBlockOf[op.MapID]
+
+	key, err := s.helperArg(st, op.KeyOffKnown, op.KeyStackOff, ebpf.R2, spec.KeySize)
+	if err != nil {
+		return fmt.Errorf("map %q key: %w", spec.Name, err)
+	}
+
+	if s.debug != nil {
+		s.debug(fmt.Sprintf("cycle %d: seq %d stage %d %s key=%x", s.cycle, j.seq, t, op.Helper.Name(), key))
+	}
+	switch op.Helper {
+	case ebpf.HelperMapLookupElem:
+		// Commit our own pending effects first (store-to-load ordering
+		// within one packet is program order by construction).
+		addr := s.exec.LookupValueAddr(op.MapID, key)
+		if sv, ok := s.shadowLookup(op.MapID, string(key), j); ok {
+			// An older packet must observe the pre-write value: redirect
+			// the pointer at a stable shadow address.
+			if sv == nil {
+				addr = 0 // the entry did not exist before the younger write
+			} else {
+				addr = s.exec.Mem.ValueAddress(op.MapID, string(key)+"\x00shadow", sv)
+			}
+		}
+		j.lookupAddr[op.MapID] = addr
+		j.lookupKey[op.MapID] = string(key)
+		if mb != nil && mb.NeedsFlush {
+			j.reads[op.MapID] = string(key)
+		}
+		st.Regs[ebpf.R0] = addr
+
+	case ebpf.HelperMapUpdateElem:
+		val, err := s.helperArg(st, op.ValOffKnown, op.ValStackOff, ebpf.R3, spec.ValueSize)
+		if err != nil {
+			return fmt.Errorf("map %q value: %w", spec.Name, err)
+		}
+		flags := maps.UpdateFlag(st.Regs[ebpf.R4])
+		s.preWriteShadowKey(j, op.MapID, string(key))
+		st.Regs[ebpf.R0] = s.exec.UpdateResult(op.MapID, key, val, flags)
+		j.commits++
+		s.rawHazardCheckKey(j, op.MapID, string(key), t)
+
+	case ebpf.HelperMapDeleteElem:
+		s.preWriteShadowKey(j, op.MapID, string(key))
+		st.Regs[ebpf.R0] = s.exec.DeleteResult(op.MapID, key)
+		j.commits++
+		s.rawHazardCheckKey(j, op.MapID, string(key), t)
+
+	default:
+		return fmt.Errorf("unsupported map helper %s", op.Helper.Name())
+	}
+
+	// The helper scratches its argument registers like a real call.
+	for r := ebpf.R1; r <= ebpf.R5; r++ {
+		st.Regs[r] = 0
+	}
+	return nil
+}
+
+// helperArg fetches a helper pointer argument either from its static
+// stack slot or through the argument register.
+func (s *Sim) helperArg(st *vm.State, known bool, off int64, reg ebpf.Register, size int) ([]byte, error) {
+	if known {
+		b, err := st.StackSlice(off, size)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, size)
+		copy(out, b)
+		return out, nil
+	}
+	return s.exec.Mem.ReadBytes(st, st.Regs[reg], size)
+}
+
+// --- WAR shadows ------------------------------------------------------
+
+// preWriteShadow captures the pre-write value of the entry the packet
+// last looked up, when the map block needs a write-delay buffer.
+func (s *Sim) preWriteShadow(mapID int, j *job) {
+	key, ok := j.lookupKey[mapID]
+	if !ok {
+		return
+	}
+	s.preWriteShadowKey(j, mapID, key)
+}
+
+func (s *Sim) preWriteShadowKey(j *job, mapID int, key string) {
+	mb := s.mapBlockOf[mapID]
+	if mb == nil || mb.WARDepth == 0 {
+		return
+	}
+	mp, _ := s.env.Maps.ByID(mapID)
+	var old []byte
+	had := false
+	if v, ok := mp.Lookup([]byte(key)); ok {
+		old = append([]byte(nil), v...)
+		had = true
+	}
+	s.shadows = append(s.shadows, warShadow{
+		mapID:     mapID,
+		key:       key,
+		oldValue:  old,
+		hadEntry:  had,
+		writerSeq: j.seq,
+		expires:   s.cycle + uint64(mb.WARDepth),
+	})
+}
+
+// shadowLookup returns the pre-write value visible to an older packet.
+func (s *Sim) shadowLookup(mapID int, key string, j *job) ([]byte, bool) {
+	for i := len(s.shadows) - 1; i >= 0; i-- {
+		sh := &s.shadows[i]
+		if sh.mapID == mapID && sh.key == key && j.seq < sh.writerSeq {
+			if !sh.hadEntry {
+				return nil, true
+			}
+			return sh.oldValue, true
+		}
+	}
+	return nil, false
+}
+
+// shadowValue returns the shadow for the entry the packet looked up.
+func (s *Sim) shadowValue(mapID int, j *job) ([]byte, bool) {
+	key, ok := j.lookupKey[mapID]
+	if !ok {
+		return nil, false
+	}
+	sv, ok := s.shadowLookup(mapID, key, j)
+	if !ok || sv == nil {
+		return nil, false
+	}
+	return sv, true
+}
+
+// --- RAW flush evaluation ----------------------------------------------
+
+// rawHazardCheck fires the Flush Evaluation Block for a write through
+// the lookup pointer: the written entry is the one this packet read.
+func (s *Sim) rawHazardCheck(j *job, mapID int, t int) {
+	key, ok := j.reads[mapID]
+	if !ok {
+		return
+	}
+	s.rawHazardCheckKey(j, mapID, key, t)
+}
+
+// rawHazardCheckKey flushes the younger in-flight packets whose
+// unconfirmed read matches the written key (Section 4.1.2, Figure 7).
+// The Flush Evaluation Block stores the addresses of unconfirmed reads,
+// so the flush is address-precise: packets that read other map entries
+// keep flowing, which also guarantees that replayed packets never carry
+// committed side effects (their stale read steered them onto a path
+// that commits only at or after the write stage).
+func (s *Sim) rawHazardCheckKey(j *job, mapID int, key string, t int) {
+	if s.cfg.Policy != PolicyFlush {
+		return
+	}
+	mb := s.mapBlockOf[mapID]
+	if mb == nil || !mb.NeedsFlush {
+		return
+	}
+	// Pipeline position, not injection sequence, defines age here: after
+	// a replay, re-injected packets sit behind packets with higher
+	// sequence numbers. Every packet at an earlier stage than the writer
+	// performed its (unconfirmed) read before this write committed.
+	hazard := false
+	for u := mb.FlushFromStage; u < t; u++ {
+		v := s.stages[u]
+		if v == nil || v == j {
+			continue
+		}
+		if rk, ok := v.reads[mapID]; ok && rk == key {
+			hazard = true
+			break
+		}
+	}
+	if hazard {
+		if s.debug != nil {
+			s.debug(fmt.Sprintf("cycle %d: seq %d writes map%d key=%x at stage %d -> flush", s.cycle, j.seq, mapID, key, t))
+		}
+		s.flushVictims(mb.FlushFromStage, t, mapID, key)
+	}
+}

@@ -1,0 +1,348 @@
+package hwsim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ehdl/internal/asm"
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/vm"
+)
+
+// progGen builds random but analysable XDP programs: packet parses at
+// static offsets, stack traffic, branchy control flow, map lookups with
+// stack-resident keys, atomic counters, and optional miss-path updates.
+// Every generated program must compile and behave identically on the
+// reference VM and the pipeline.
+type progGen struct {
+	r *rand.Rand
+	b *asm.Builder
+
+	label int
+}
+
+func (g *progGen) newLabel() string {
+	g.label++
+	return fmt.Sprintf("L%d", g.label)
+}
+
+// scratch registers the generator plays with (callee-saved, excluding
+// r7 which holds the packet pointer).
+var scratch = []ebpf.Register{ebpf.R6, ebpf.R8, ebpf.R9}
+
+func (g *progGen) reg() ebpf.Register { return scratch[g.r.Intn(len(scratch))] }
+
+func generateProgram(seed int64) (*ebpf.Program, error) {
+	r := rand.New(rand.NewSource(seed))
+	g := &progGen{r: r, b: asm.NewBuilder(fmt.Sprintf("fuzz%d", seed))}
+	b := g.b
+
+	withMap := r.Intn(3) > 0
+	withUpdate := withMap && r.Intn(2) == 0
+	withCounters := r.Intn(2) == 0
+	if withMap {
+		b.DeclareMap(ebpf.MapSpec{Name: "m", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 1024})
+	}
+	if withCounters {
+		b.DeclareMap(ebpf.MapSpec{Name: "ctr", Kind: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 4})
+	}
+
+	// Prologue: packet pointer in r7 (bounds-checked to 40 bytes).
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R6, ebpf.R1),
+		ebpf.LoadMem(ebpf.SizeW, ebpf.R2, ebpf.R1, 4),
+		ebpf.LoadMem(ebpf.SizeW, ebpf.R7, ebpf.R1, 0),
+		ebpf.Mov64Reg(ebpf.R3, ebpf.R7),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R3, 40),
+	)
+	b.JumpRegTo(ebpf.JumpGT, ebpf.R3, ebpf.R2, "drop")
+
+	// Seed the scratch registers from the packet.
+	for _, reg := range scratch {
+		b.Emit(ebpf.LoadMem(randSize(r), reg, ebpf.R7, int16(r.Intn(32))))
+	}
+
+	if withCounters {
+		// A global atomic counter early in the program: with a map update
+		// later, this also exercises the elastic-buffer placement.
+		b.Emit(
+			ebpf.StoreImm(ebpf.SizeW, ebpf.R10, -24, int32(r.Intn(4))),
+			ebpf.LoadMapRef(ebpf.R1, "ctr"),
+			ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+			ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -24),
+			ebpf.Call(ebpf.HelperMapLookupElem),
+		)
+		skip := g.newLabel()
+		b.JumpTo(ebpf.JumpEq, ebpf.R0, 0, skip)
+		b.Emit(
+			ebpf.Mov64Imm(ebpf.R2, 1),
+			ebpf.Atomic(ebpf.SizeDW, ebpf.R0, 0, ebpf.R2, ebpf.AtomicAdd),
+		)
+		b.Label(skip)
+	}
+
+	// A few blocks of random ALU/branch/stack work.
+	blocks := 2 + r.Intn(4)
+	for i := 0; i < blocks; i++ {
+		g.emitStraightLine(3 + r.Intn(6))
+		if r.Intn(2) == 0 {
+			skip := g.newLabel()
+			b.JumpTo(randCmp(r), g.reg(), int32(r.Intn(512)), skip)
+			g.emitStraightLine(1 + r.Intn(4))
+			b.Label(skip)
+		}
+	}
+
+	if withMap {
+		// Key from a scratch register, truncated, on the stack.
+		key := g.reg()
+		b.Emit(
+			ebpf.Mov64Reg(ebpf.R3, key),
+			ebpf.ALU64Imm(ebpf.ALUAnd, ebpf.R3, int32(1+r.Intn(7))), // few distinct keys: hazards likely
+			ebpf.StoreMem(ebpf.SizeW, ebpf.R10, -4, ebpf.R3),
+			ebpf.LoadMapRef(ebpf.R1, "m"),
+			ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+			ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+			ebpf.Call(ebpf.HelperMapLookupElem),
+		)
+		b.JumpTo(ebpf.JumpEq, ebpf.R0, 0, "miss")
+		// Hit: atomic increment (safe under flushes) and a read.
+		b.Emit(
+			ebpf.Mov64Imm(ebpf.R2, 1),
+			ebpf.Atomic(ebpf.SizeDW, ebpf.R0, 0, ebpf.R2, ebpf.AtomicAdd),
+			ebpf.LoadMem(ebpf.SizeDW, ebpf.R8, ebpf.R0, 0),
+		)
+		b.GotoLabel("out")
+		b.Label("miss")
+		if withUpdate {
+			b.Emit(
+				ebpf.StoreImm(ebpf.SizeDW, ebpf.R10, -16, 1),
+				ebpf.LoadMapRef(ebpf.R1, "m"),
+				ebpf.Mov64Reg(ebpf.R2, ebpf.R10),
+				ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R2, -4),
+				ebpf.Mov64Reg(ebpf.R3, ebpf.R10),
+				ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R3, -16),
+				ebpf.Mov64Imm(ebpf.R4, 0),
+				ebpf.Call(ebpf.HelperMapUpdateElem),
+			)
+		}
+		b.Label("out")
+	}
+
+	// Verdict from a scratch register: PASS or TX.
+	v := g.reg()
+	b.Emit(
+		ebpf.Mov64Reg(ebpf.R0, v),
+		ebpf.ALU64Imm(ebpf.ALUAnd, ebpf.R0, 1),
+		ebpf.ALU64Imm(ebpf.ALUAdd, ebpf.R0, 2), // XDP_PASS or XDP_TX
+		ebpf.Exit(),
+	)
+	b.Label("drop")
+	b.Emit(ebpf.Mov64Imm(ebpf.R0, 1), ebpf.Exit())
+	return b.Program()
+}
+
+func (g *progGen) emitStraightLine(n int) {
+	r, b := g.r, g.b
+	ops := []ebpf.ALUOp{ebpf.ALUAdd, ebpf.ALUSub, ebpf.ALUAnd, ebpf.ALUOr, ebpf.ALUXor, ebpf.ALUMul}
+	for i := 0; i < n; i++ {
+		switch r.Intn(9) {
+		case 0:
+			b.Emit(ebpf.ALU64Imm(ops[r.Intn(len(ops))], g.reg(), int32(r.Intn(1<<12))))
+		case 1:
+			b.Emit(ebpf.ALU64Reg(ops[r.Intn(len(ops))], g.reg(), g.reg()))
+		case 2:
+			b.Emit(ebpf.ALU64Imm(ebpf.ALULsh, g.reg(), int32(1+r.Intn(8))))
+		case 3:
+			// Spill and reload through a distinct stack slot.
+			slot := int16(-8 * (2 + r.Intn(6)))
+			b.Emit(
+				ebpf.StoreMem(ebpf.SizeDW, ebpf.R10, slot, g.reg()),
+				ebpf.LoadMem(ebpf.SizeDW, g.reg(), ebpf.R10, slot),
+			)
+		case 4:
+			b.Emit(ebpf.LoadMem(randSize(r), g.reg(), ebpf.R7, int16(r.Intn(32))))
+		case 5:
+			// Packet write at a safe offset.
+			b.Emit(ebpf.StoreMem(ebpf.SizeB, ebpf.R7, int16(r.Intn(32)), g.reg()))
+		case 6:
+			// 32-bit arithmetic zero-extends like the datapath must.
+			b.Emit(ebpf.ALU32Imm(ops[r.Intn(len(ops))], g.reg(), int32(r.Intn(1<<12))))
+		case 7:
+			// Byte-order conversion (wiring in hardware).
+			width := []int32{16, 32, 64}[r.Intn(3)]
+			src := ebpf.SourceK
+			if r.Intn(2) == 0 {
+				src = ebpf.SourceX
+			}
+			b.Emit(ebpf.Swap(g.reg(), src, width))
+		case 8:
+			b.Emit(ebpf.ALU64Reg(ebpf.ALURsh, g.reg(), g.reg()))
+		}
+	}
+}
+
+func randSize(r *rand.Rand) ebpf.Size {
+	return []ebpf.Size{ebpf.SizeB, ebpf.SizeH, ebpf.SizeW, ebpf.SizeDW}[r.Intn(4)]
+}
+
+func randCmp(r *rand.Rand) ebpf.JumpOp {
+	return []ebpf.JumpOp{ebpf.JumpEq, ebpf.JumpNE, ebpf.JumpGT, ebpf.JumpLT, ebpf.JumpSGT, ebpf.JumpSet}[r.Intn(6)]
+}
+
+// TestFuzzDifferential compiles random programs and verifies the
+// pipeline against the reference interpreter on random traffic:
+// verdicts, packet bytes and final map state must all match.
+func TestFuzzDifferential(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	compiled := 0
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		prog, err := generateProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generator produced an invalid program: %v", seed, err)
+		}
+		pl, err := core.Compile(prog, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		compiled++
+
+		// Reference run.
+		refEnv, err := vm.NewEnv(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refEnv.Now = func() uint64 { return 0 }
+		machine, err := vm.New(prog, refEnv)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r := rand.New(rand.NewSource(seed * 77))
+		packets := make([][]byte, 80)
+		for i := range packets {
+			pkt := make([]byte, 48+r.Intn(64))
+			r.Read(pkt)
+			packets[i] = pkt
+		}
+
+		type refOut struct {
+			action ebpf.XDPAction
+			data   []byte
+		}
+		refs := make([]refOut, len(packets))
+		for i, data := range packets {
+			p := vm.NewPacket(data)
+			res, err := machine.Run(p)
+			if err != nil {
+				t.Fatalf("seed %d packet %d: reference: %v", seed, i, err)
+			}
+			refs[i] = refOut{res.Action, append([]byte(nil), p.Bytes()...)}
+		}
+
+		sim, err := New(pl, Config{StrictCarryCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetClock(func() uint64 { return 0 })
+		sim.KeepData(true)
+		var results []Result
+		sim.OnComplete(func(res Result) { results = append(results, res) })
+		for _, data := range packets {
+			for !sim.InputFree() {
+				if err := sim.Step(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+			sim.Inject(data)
+			if err := sim.Step(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if err := sim.RunToCompletion(1 << 22); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(results) != len(packets) {
+			t.Fatalf("seed %d: %d of %d packets completed", seed, len(results), len(packets))
+		}
+		for _, res := range results {
+			ref := refs[res.Seq]
+			if res.Action != ref.action {
+				t.Fatalf("seed %d packet %d: action %v vs reference %v\n%s",
+					seed, res.Seq, res.Action, ref.action, ebpf.Disassemble(prog.Instructions))
+			}
+			if !bytes.Equal(res.Data, ref.data) {
+				t.Fatalf("seed %d packet %d: packet bytes diverge\n%s",
+					seed, res.Seq, ebpf.Disassemble(prog.Instructions))
+			}
+		}
+		// Final map state.
+		for id := 0; id < refEnv.Maps.Len(); id++ {
+			rm, _ := refEnv.Maps.ByID(id)
+			gm, _ := sim.Maps().ByID(id)
+			if rm.Len() != gm.Len() {
+				t.Fatalf("seed %d: map %d entries %d vs %d", seed, id, gm.Len(), rm.Len())
+			}
+			rm.Iterate(func(k, v []byte) bool {
+				gv, ok := gm.Lookup(k)
+				if !ok || !bytes.Equal(gv, v) {
+					t.Fatalf("seed %d: map %d key %x mismatch (%x vs %x)", seed, id, k, gv, v)
+				}
+				return true
+			})
+		}
+	}
+	if compiled != seeds {
+		t.Fatalf("compiled %d of %d generated programs", compiled, seeds)
+	}
+}
+
+// TestFuzzSchedulerInvariants checks, across random programs, that no
+// stage holds conflicting instructions and that control flow is
+// strictly forward-feeding.
+func TestFuzzSchedulerInvariants(t *testing.T) {
+	for seed := int64(100); seed < 160; seed++ {
+		prog, err := generateProgram(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := core.Compile(prog, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		firstStage := map[int]int{}
+		for _, blk := range pl.Blocks {
+			firstStage[blk.ID] = blk.FirstStage
+		}
+		for s := range pl.Stages {
+			ops := pl.Stages[s].Ops
+			for i := 0; i < len(ops); i++ {
+				for j := i + 1; j < len(ops); j++ {
+					for _, a := range append([]int{ops[i].Index}, ops[i].FusedIdx...) {
+						for _, c := range append([]int{ops[j].Index}, ops[j].FusedIdx...) {
+							lo, hi := a, c
+							if lo > hi {
+								lo, hi = hi, lo
+							}
+							if pl.Info.Conflicts(lo, hi) {
+								t.Fatalf("seed %d: stage %d holds conflicting instructions %d,%d", seed, s, a, c)
+							}
+						}
+					}
+				}
+				for _, succ := range []int{ops[i].TakenBlock, ops[i].FallBlock} {
+					if succ >= 0 && firstStage[succ] <= s {
+						t.Fatalf("seed %d: stage %d enables block %d at stage %d (backwards)",
+							seed, s, succ, firstStage[succ])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package hwsim
+
+import (
+	"testing"
+
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+)
+
+// loopSource parses a bounded run of data: it sums eight packet bytes in
+// a counted loop, exercising loop unrolling through the entire flow
+// (compile -> pipeline -> differential execution).
+const loopSource = `
+map sums array key=4 value=8 entries=4
+
+r2 = *(u32 *)(r1 + 4)
+r7 = *(u32 *)(r1 + 0)
+r3 = r7
+r3 += 22
+if r3 > r2 goto drop
+
+r8 = 0                       ; accumulator
+r9 = 0                       ; loop counter
+loop:
+r4 = r9
+r4 += 14                     ; &pkt[14 + i]... static unrolled offsets
+r5 = *(u8 *)(r7 + 14)        ; the unroller duplicates the body; the
+r8 += r5                     ; varying index lives in r4 for the sum
+r8 += r9
+r9 += 1
+if r9 != 8 goto loop
+
+*(u32 *)(r10 - 4) = 0
+r1 = map[sums] ll
+r2 = r10
+r2 += -4
+call 1
+if r0 == 0 goto out
+lock *(u64 *)(r0 + 0) += r8
+out:
+r0 = 2
+exit
+drop:
+r0 = 1
+exit
+`
+
+func TestBoundedLoopThroughPipeline(t *testing.T) {
+	pl := compile(t, "looper", loopSource, core.Options{})
+	// The loop must be fully unrolled: no stage may be re-entered, and
+	// the transformed program must be larger than the source.
+	if len(pl.Transformed.Instructions) <= 30 {
+		t.Fatalf("transformed program has %d instructions; the 8-trip loop did not unroll",
+			len(pl.Transformed.Instructions))
+	}
+	var packets [][]byte
+	for i := 0; i < 40; i++ {
+		pkt := make([]byte, 64)
+		for b := range pkt {
+			pkt[b] = byte(i + b)
+		}
+		packets = append(packets, pkt)
+	}
+	runBoth(t, "looper", loopSource, core.Options{}, Config{}, packets)
+}
+
+// warSource writes per-flow state BEFORE reading it back later in the
+// same program: the write stage precedes the read stage in the
+// pipeline, which is the Figure 6 WAR pattern requiring the write-delay
+// shadow so older in-flight packets still observe the pre-write value.
+const warSource = `
+map seen hash key=4 value=8 entries=1024
+
+r2 = *(u32 *)(r1 + 0)
+r3 = *(u32 *)(r2 + 26)
+*(u32 *)(r10 - 4) = r3
+r9 = *(u64 *)(r2 + 40)         ; per-packet nonce, read back below
+
+; unconditional insert/overwrite first (the write stage)
+*(u64 *)(r10 - 16) = r9
+r1 = map[seen] ll
+r2 = r10
+r2 += -4
+r3 = r10
+r3 += -16
+r4 = 0
+call 2
+
+; then read the entry back (the read stage, later in the pipeline)
+r1 = map[seen] ll
+r2 = r10
+r2 += -4
+call 1
+if r0 == 0 goto miss
+r4 = *(u64 *)(r0 + 0)
+if r4 != r9 goto corrupt       ; must read back our own write
+r0 = 3
+exit
+corrupt:
+r0 = 0                         ; XDP_ABORTED marks a WAR violation
+exit
+miss:
+r0 = 1
+exit
+`
+
+func TestWARGeometryDetected(t *testing.T) {
+	pl := compile(t, "war", warSource, core.Options{})
+	if len(pl.Maps) != 1 {
+		t.Fatalf("maps = %d", len(pl.Maps))
+	}
+	mb := pl.Maps[0]
+	if mb.WARDepth == 0 {
+		t.Fatalf("write-then-read map has WARDepth 0: %+v", mb)
+	}
+}
+
+func TestWARDifferential(t *testing.T) {
+	// Back-to-back same-flow packets make younger writes race with older
+	// reads: without the write-delay shadow, an older packet would read
+	// the younger packet's nonce instead of its own and abort.
+	var packets [][]byte
+	for i := 0; i < 60; i++ {
+		pkt := ipv4Packet(uint32(i%3), 64)
+		pkt[40] = byte(i) // the per-packet nonce the program writes and reads back
+		pkt[41] = byte(i >> 8)
+		packets = append(packets, pkt)
+	}
+	_, results := runBoth(t, "war", warSource, core.Options{}, Config{}, packets)
+	for _, r := range results {
+		if r.Action != ebpf.XDPTx {
+			t.Fatalf("packet %d action %v: read back a foreign nonce (WAR violation)", r.Seq, r.Action)
+		}
+	}
+}
+
+// TestFlushRecallPreservesUnreadPackets checks the no-stale-reader path
+// of the Flush Evaluation Block: a write with no matching reads must
+// leave the pipeline untouched.
+func TestFlushRecallPreservesUnreadPackets(t *testing.T) {
+	var packets [][]byte
+	// Distinct flows only: writes happen (first-packet inserts) but no
+	// two same-key packets ever share the window.
+	for i := 0; i < 200; i++ {
+		packets = append(packets, ipv4Packet(uint32(1000+i), 64))
+	}
+	stats, _ := runBoth(t, "flow", flowSource, core.Options{}, Config{}, packets)
+	if stats.Flushes != 0 {
+		t.Errorf("distinct-flow traffic triggered %d flushes", stats.Flushes)
+	}
+}
+
+// deepSource reads far into the payload right at the start of the
+// program: the compiler must insert framing NOPs, and the simulator's
+// bypass network must deliver the correct bytes.
+const deepSource = `
+r2 = *(u32 *)(r1 + 4)
+r7 = *(u32 *)(r1 + 0)
+r3 = r7
+r3 += 408
+if r3 > r2 goto drop
+r0 = *(u32 *)(r7 + 400)
+r0 &= 3
+exit
+drop:
+r0 = 1
+exit
+`
+
+func TestDeepAccessDifferential(t *testing.T) {
+	pl := compile(t, "deep", deepSource, core.Options{})
+	if pl.FramingNOPs == 0 {
+		t.Fatal("no framing NOPs for a 400-byte access")
+	}
+	var packets [][]byte
+	for i := 0; i < 30; i++ {
+		pkt := make([]byte, 512)
+		for b := range pkt {
+			pkt[b] = byte(i * b)
+		}
+		packets = append(packets, pkt)
+	}
+	// Short packets exercise the hardware bounds drop as well.
+	packets = append(packets, make([]byte, 64), make([]byte, 300))
+	runBoth(t, "deep", deepSource, core.Options{}, Config{}, packets)
+}

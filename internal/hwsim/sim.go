@@ -1,0 +1,591 @@
+// Package hwsim executes compiled eHDL pipelines cycle by cycle.
+//
+// It is the repository's stand-in for the Alveo U50 FPGA: the generated
+// pipeline IR is advanced one stage per clock, stage-enable signals
+// implement the predicated control flow (Section 3.5 of the paper), and
+// the map consistency machinery — WAR write shadows, RAW Flush
+// Evaluation Blocks with elastic-buffer reload, and atomic primitives —
+// follows Section 4.1. Packet framing geometry (Section 4.2) governs
+// injection pacing and latency; the architectural semantics are shared
+// with the reference interpreter (internal/vm) so results are
+// differentially testable.
+package hwsim
+
+import (
+	"fmt"
+
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+	"ehdl/internal/vm"
+)
+
+// HazardPolicy selects how per-flow RAW hazards are handled.
+type HazardPolicy int
+
+// Hazard policies.
+const (
+	// PolicyFlush discards and re-executes younger packets when a write
+	// hits an unconfirmed read (the paper's approach).
+	PolicyFlush HazardPolicy = iota
+	// PolicyStall conservatively bubbles the pipeline at every read with
+	// potentially conflicting packets ahead, the FlowBlaze-style
+	// alternative the paper evaluates and rejects.
+	PolicyStall
+)
+
+// Config parameterises a simulation.
+type Config struct {
+	// ClockHz is the pipeline clock. 0 means 250 MHz.
+	ClockHz float64
+	// FlushReloadCycles is the dead time after a flush before victims
+	// re-enter (the paper's K overhead of 4 cycles).
+	FlushReloadCycles int
+	// OOBAction is the verdict applied by the hardware bounds check when
+	// an enabled stage accesses past the packet end. Defaults to
+	// XDP_DROP.
+	OOBAction ebpf.XDPAction
+	// Policy selects flush (default) or stall hazard handling.
+	Policy HazardPolicy
+	// StrictCarryCheck verifies at run time that every register and
+	// stack byte an op reads was carried by state pruning. Used by the
+	// test suite to prove pruning soundness.
+	StrictCarryCheck bool
+	// InputQueuePackets bounds the ingress queue. 0 means 4096.
+	InputQueuePackets int
+}
+
+func (c Config) clockHz() float64 {
+	if c.ClockHz <= 0 {
+		return 250e6
+	}
+	return c.ClockHz
+}
+
+func (c Config) reloadCycles() int {
+	if c.FlushReloadCycles <= 0 {
+		return 4
+	}
+	return c.FlushReloadCycles
+}
+
+func (c Config) oobAction() ebpf.XDPAction {
+	if c.OOBAction == 0 {
+		return ebpf.XDPDrop
+	}
+	return c.OOBAction
+}
+
+func (c Config) queueDepth() int {
+	if c.InputQueuePackets <= 0 {
+		return 4096
+	}
+	return c.InputQueuePackets
+}
+
+// Result reports one packet's trip through the pipeline.
+type Result struct {
+	Seq             uint64
+	Action          ebpf.XDPAction
+	RedirectIfindex uint32
+	Data            []byte
+	LatencyCycles   uint64
+	Flushed         int // times this packet was flushed and re-executed
+}
+
+// Stats aggregates a simulation run.
+type Stats struct {
+	Cycles         uint64
+	Injected       uint64
+	Completed      uint64
+	QueueDrops     uint64
+	Flushes        uint64
+	FlushedPackets uint64
+	StallCycles    uint64
+	Actions        map[ebpf.XDPAction]uint64
+	LatencySum     uint64
+	LatencyMax     uint64
+}
+
+// Mpps converts the completed-packet count to millions of packets per
+// second at the configured clock.
+func (s Stats) Mpps(clockHz float64) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	seconds := float64(s.Cycles) / clockHz
+	return float64(s.Completed) / seconds / 1e6
+}
+
+// AvgLatencyNs returns the mean forwarding latency in nanoseconds.
+func (s Stats) AvgLatencyNs(clockHz float64) float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Completed) / clockHz * 1e9
+}
+
+// job is one in-flight packet and its architectural state.
+type job struct {
+	seq        uint64
+	st         *vm.State
+	enabled    []uint64 // block-enable bitset
+	done       bool
+	action     ebpf.XDPAction
+	redirect   uint32
+	injectedAt uint64
+	frames     int
+	stage      int // current stage, -1 while queued
+	execStage  int // last stage whose ops ran (guards stalls)
+
+	lookupAddr map[int]uint64 // mapID -> last lookup value address
+	lookupKey  map[int]string // mapID -> last lookup key
+	reads      map[int]string // mapID -> unconfirmed read key (flush eval)
+	flushed    int
+	commits    int // committed map mutations (atomic/update/delete/store)
+
+	snapshot *snapshot // taken entering the elastic-buffer stage
+	initial  *snapshot
+}
+
+// snapshot captures everything needed to replay a packet from a stage.
+type snapshot struct {
+	st         *vm.State
+	enabled    []uint64
+	lookupAddr map[int]uint64
+	lookupKey  map[int]string
+	done       bool
+	action     ebpf.XDPAction
+	redirect   uint32
+	commits    int
+}
+
+func (j *job) capture() *snapshot {
+	la := make(map[int]uint64, len(j.lookupAddr))
+	for k, v := range j.lookupAddr {
+		la[k] = v
+	}
+	lk := make(map[int]string, len(j.lookupKey))
+	for k, v := range j.lookupKey {
+		lk[k] = v
+	}
+	return &snapshot{
+		st:         j.st.Clone(),
+		enabled:    append([]uint64(nil), j.enabled...),
+		lookupAddr: la,
+		lookupKey:  lk,
+		done:       j.done,
+		action:     j.action,
+		redirect:   j.redirect,
+		commits:    j.commits,
+	}
+}
+
+func (j *job) restore(s *snapshot) {
+	j.st = s.st.Clone()
+	j.enabled = append(j.enabled[:0], s.enabled...)
+	j.lookupAddr = make(map[int]uint64, len(s.lookupAddr))
+	for k, v := range s.lookupAddr {
+		j.lookupAddr[k] = v
+	}
+	j.lookupKey = make(map[int]string, len(s.lookupKey))
+	for k, v := range s.lookupKey {
+		j.lookupKey[k] = v
+	}
+	j.reads = map[int]string{}
+	j.done = s.done
+	j.action = s.action
+	j.redirect = s.redirect
+	j.commits = s.commits
+}
+
+// warShadow lets older in-flight packets keep reading the pre-write
+// value of a map entry for WARDepth cycles after a younger packet's
+// write (the delay registers of Figure 6).
+type warShadow struct {
+	mapID     int
+	key       string
+	oldValue  []byte // nil: the entry did not exist
+	hadEntry  bool
+	writerSeq uint64
+	expires   uint64 // cycle after which the shadow is gone
+}
+
+// Sim is one instantiated pipeline.
+type Sim struct {
+	pl   *core.Pipeline
+	cfg  Config
+	env  *vm.Env
+	exec *vm.ExecContext
+
+	frameBytes int
+	stages     []*job
+	queue      []*job
+	reload     []*job // flush victims awaiting re-entry
+	seq        uint64
+	cycle      uint64
+
+	// Stall machinery: stages below stallPoint hold while the condition
+	// drains. -1 means no stall.
+	stallPoint   int
+	reloadDelay  int // dead cycles before reload re-entry
+	stallDrainTo int // for PolicyStall: hold until stages [stallPoint, stallDrainTo] empty
+
+	injectGap int // cycles until the input accepts the next packet
+
+	shadows []warShadow
+
+	mapBlockOf map[int]*core.MapBlock
+
+	stats      Stats
+	onComplete func(Result)
+	keepData   bool
+
+	// readStages/writeStages per map pre-resolved for the flush block.
+	strictErr error
+
+	// debug receives trace lines when set (tests only).
+	debug func(string)
+}
+
+// New instantiates a pipeline simulation with fresh maps.
+func New(pl *core.Pipeline, cfg Config) (*Sim, error) {
+	env, err := vm.NewEnv(pl.Transformed)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithEnv(pl, cfg, env)
+}
+
+// NewWithEnv instantiates a simulation over an existing environment
+// (shared maps, custom clock).
+func NewWithEnv(pl *core.Pipeline, cfg Config, env *vm.Env) (*Sim, error) {
+	if len(pl.Stages) == 0 {
+		return nil, fmt.Errorf("hwsim: empty pipeline")
+	}
+	s := &Sim{
+		pl:           pl,
+		cfg:          cfg,
+		env:          env,
+		exec:         &vm.ExecContext{Env: env, Mem: vm.NewMemSpace(pl.Transformed, env.Maps)},
+		frameBytes:   pl.Options.FrameBytes,
+		stages:       make([]*job, len(pl.Stages)),
+		stallPoint:   -1,
+		stallDrainTo: -1,
+		mapBlockOf:   map[int]*core.MapBlock{},
+	}
+	if s.frameBytes <= 0 {
+		s.frameBytes = 64
+	}
+	for i := range pl.Maps {
+		s.mapBlockOf[pl.Maps[i].MapID] = &pl.Maps[i]
+	}
+	if env.Now == nil {
+		// The hardware clock: cycle count scaled to nanoseconds.
+		clock := cfg.clockHz()
+		env.Now = func() uint64 {
+			return uint64(float64(s.cycle) / clock * 1e9)
+		}
+	}
+	s.stats.Actions = map[ebpf.XDPAction]uint64{}
+	return s, nil
+}
+
+// Maps exposes the simulated NIC's map memory (the host interface).
+func (s *Sim) Maps() *maps.Set { return s.env.Maps }
+
+// Stats returns a copy of the counters so far.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Cycle returns the current clock cycle.
+func (s *Sim) Cycle() uint64 { return s.cycle }
+
+// OnComplete registers a callback invoked as packets retire.
+func (s *Sim) OnComplete(fn func(Result)) { s.onComplete = fn }
+
+// KeepData makes results carry the final packet bytes.
+func (s *Sim) KeepData(keep bool) { s.keepData = keep }
+
+// InputFree reports whether the ingress can accept a packet this cycle.
+func (s *Sim) InputFree() bool {
+	return len(s.queue) < s.cfg.queueDepth()
+}
+
+// Inject queues a packet for processing. It returns false (and counts a
+// drop) when the input queue is full.
+func (s *Sim) Inject(data []byte) bool {
+	if !s.InputFree() {
+		s.stats.QueueDrops++
+		return false
+	}
+	frames := (len(data) + s.frameBytes - 1) / s.frameBytes
+	if frames < 1 {
+		frames = 1
+	}
+	j := &job{
+		seq:        s.seq,
+		st:         vm.NewState(vm.NewPacket(data)),
+		enabled:    make([]uint64, (len(s.pl.Blocks)+63)/64+1),
+		injectedAt: s.cycle,
+		frames:     frames,
+		stage:      -1,
+		execStage:  -1,
+		lookupAddr: map[int]uint64{},
+		lookupKey:  map[int]string{},
+		reads:      map[int]string{},
+	}
+	s.seq++
+	setBit(j.enabled, 0) // the entry block is always enabled
+	j.initial = j.capture()
+	s.queue = append(s.queue, j)
+	s.stats.Injected++
+	return true
+}
+
+func setBit(b []uint64, i int)      { b[i/64] |= 1 << (i % 64) }
+func hasBit(b []uint64, i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Busy reports whether any work remains in flight.
+func (s *Sim) Busy() bool {
+	if len(s.queue) > 0 || len(s.reload) > 0 {
+		return true
+	}
+	for _, j := range s.stages {
+		if j != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// RunToCompletion steps the clock until the pipeline drains, with a
+// safety bound.
+func (s *Sim) RunToCompletion(maxCycles uint64) error {
+	for n := uint64(0); s.Busy(); n++ {
+		if n >= maxCycles {
+			return fmt.Errorf("hwsim: pipeline did not drain within %d cycles", maxCycles)
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step advances the pipeline by one clock cycle.
+func (s *Sim) Step() error {
+	s.cycle++
+	s.stats.Cycles++
+	s.expireShadows()
+
+	last := len(s.stages) - 1
+
+	// Retire the packet leaving the final stage.
+	if j := s.stages[last]; j != nil {
+		s.complete(j)
+	}
+
+	// Advance the shift register, honouring an active stall point:
+	// stages at or above the point advance, stages below hold.
+	low := 0
+	if s.stallPoint >= 0 {
+		low = s.stallPoint
+		s.stats.StallCycles++
+	}
+	for t := last; t > low; t-- {
+		s.stages[t] = s.stages[t-1]
+		s.stages[t-1] = nil
+	}
+
+	// Feed the stall point from the reload queue (after the dead time)
+	// or release the stall when it has drained.
+	if s.stallPoint >= 0 {
+		s.serviceStall()
+	}
+	if s.stallPoint < 0 {
+		s.injectFromQueue()
+	}
+
+	// Execute stage operations, oldest packets first so same-cycle
+	// map effects resolve in age order.
+	for t := last; t >= 0; t-- {
+		j := s.stages[t]
+		if j == nil || j.execStage == t {
+			continue
+		}
+		// A reader held by PolicyStall defers its stage until release.
+		if s.cfg.Policy == PolicyStall && s.stallPoint >= 0 && t == s.stallPoint-1 {
+			continue
+		}
+		j.stage = t
+		j.execStage = t
+		if err := s.execStage(j, t); err != nil {
+			return err
+		}
+	}
+	if s.strictErr != nil {
+		return s.strictErr
+	}
+	return nil
+}
+
+// serviceStall feeds flush victims back in at the stall point and lifts
+// the stall once everything drained.
+func (s *Sim) serviceStall() {
+	if s.reloadDelay > 0 {
+		s.reloadDelay--
+		return
+	}
+	if len(s.reload) > 0 {
+		if s.stages[s.stallPoint] == nil {
+			j := s.reload[0]
+			s.reload = s.reload[1:]
+			s.stages[s.stallPoint] = j
+			j.stage = s.stallPoint
+			j.execStage = s.stallPoint - 1 // execute this stage now
+		}
+		return
+	}
+	if s.stallDrainTo >= 0 {
+		// PolicyStall: wait until the hazard window is empty.
+		for t := s.stallPoint; t <= s.stallDrainTo; t++ {
+			if s.stages[t] != nil {
+				return
+			}
+		}
+		s.stallDrainTo = -1
+	}
+	s.stallPoint = -1
+}
+
+// injectFromQueue moves the next queued packet into stage 0, honouring
+// multi-frame pacing: an F-frame packet occupies the input for F cycles.
+func (s *Sim) injectFromQueue() {
+	if s.injectGap > 0 {
+		s.injectGap--
+		return
+	}
+	if len(s.queue) == 0 || s.stages[0] != nil {
+		return
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	s.stages[0] = j
+	j.stage = 0
+	j.execStage = -1
+	s.injectGap = j.frames - 1
+}
+
+// complete retires a packet.
+func (s *Sim) complete(j *job) {
+	latency := s.cycle - j.injectedAt
+	s.stats.Completed++
+	s.stats.LatencySum += latency
+	if latency > s.stats.LatencyMax {
+		s.stats.LatencyMax = latency
+	}
+	s.stats.Actions[j.action]++
+	if s.onComplete != nil {
+		res := Result{
+			Seq:             j.seq,
+			Action:          j.action,
+			RedirectIfindex: j.redirect,
+			LatencyCycles:   latency,
+			Flushed:         j.flushed,
+		}
+		if s.keepData {
+			res.Data = append([]byte(nil), j.st.Pkt.Bytes()...)
+		}
+		s.onComplete(res)
+	}
+}
+
+// expireShadows drops WAR shadows whose window has passed.
+func (s *Sim) expireShadows() {
+	out := s.shadows[:0]
+	for _, sh := range s.shadows {
+		if s.cycle <= sh.expires {
+			out = append(out, sh)
+		}
+	}
+	s.shadows = out
+}
+
+// flushVictims implements the Flush Evaluation Block's verdict
+// (Section 4.1.2): discard and replay the younger packets whose stale
+// read the write invalidated. Two groups are recalled, preserving
+// per-key sequential order without replaying committed side effects:
+//
+//   - packets in [from, writeStage) whose unconfirmed read matches the
+//     written key (the stale readers);
+//   - every packet that has not yet reached the map's first read stage:
+//     it may carry the same key, and letting it run ahead of the
+//     re-injected victims would reorder same-key accesses. Such packets
+//     cannot have committed map effects past the elastic buffer, so
+//     their replay is side-effect free.
+func (s *Sim) flushVictims(from, writeStage, mapID int, key string) {
+	minRead := writeStage
+	if mb := s.mapBlockOf[mapID]; mb != nil {
+		for _, r := range mb.ReadStages {
+			if r < minRead {
+				minRead = r
+			}
+		}
+	}
+	matched := false
+	var victims []*job
+	for t := writeStage - 1; t >= from; t-- {
+		j := s.stages[t]
+		if j == nil {
+			continue
+		}
+		if rk, ok := j.reads[mapID]; ok && rk == key {
+			matched = true
+		} else if t > minRead || (t == minRead && j.execStage >= minRead) {
+			// Already past the read (different key, or the read path was
+			// disabled): safe to keep flowing ahead.
+			continue
+		}
+		j.stage = t // the shift may have outrun the execution bookkeeping
+		victims = append(victims, j)
+		s.stages[t] = nil
+	}
+	if !matched {
+		// No stale reader after all: put the recalled packets back.
+		for _, v := range victims {
+			s.stages[v.stage] = v
+		}
+		return
+	}
+	// Victims were collected from high to low stages, i.e. oldest first:
+	// re-injecting in this order preserves the pipeline's relative order.
+	for _, v := range victims {
+		if from > 0 && v.stage == from && v.execStage < from {
+			// Recalled on arrival at the elastic-buffer stage, before its
+			// ops (and the snapshot capture) ran: the current state is the
+			// entering state.
+			v.snapshot = v.capture()
+		}
+		snap := v.snapshot
+		if from == 0 || snap == nil {
+			snap = v.initial
+		}
+		if v.commits != snap.commits && s.strictErr == nil {
+			s.strictErr = fmt.Errorf("hwsim: flush from %d (write %d) would replay packet %d (stage %d, execStage %d) past %d committed map effects",
+				from, writeStage, v.seq, v.stage, v.execStage, v.commits-snap.commits)
+		}
+		v.restore(snap)
+		v.flushed++
+		v.execStage = from - 1
+	}
+	s.reload = append(victims, s.reload...)
+	s.stallPoint = from
+	s.stallDrainTo = -1
+	s.reloadDelay = s.cfg.reloadCycles()
+	s.stats.Flushes++
+	s.stats.FlushedPackets += uint64(len(victims))
+}
+
+// SetClock overrides the nanosecond clock visible to time helpers
+// (bpf_ktime_get_ns); tests pin it for determinism.
+func (s *Sim) SetClock(fn func() uint64) { s.env.Now = fn }

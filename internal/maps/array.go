@@ -1,0 +1,85 @@
+package maps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ehdl/internal/ebpf"
+)
+
+// arrayMap is BPF_MAP_TYPE_ARRAY: all entries exist from creation, keys
+// are u32 indices, and values are zero-initialised. DEVMAPs share the
+// implementation.
+type arrayMap struct {
+	spec    ebpf.MapSpec
+	storage []byte
+}
+
+func newArray(spec ebpf.MapSpec) *arrayMap {
+	return &arrayMap{
+		spec:    spec,
+		storage: make([]byte, spec.MaxEntries*spec.ValueSize),
+	}
+}
+
+func (a *arrayMap) Spec() ebpf.MapSpec { return a.spec }
+
+func (a *arrayMap) index(key []byte) (int, error) {
+	if err := checkKey(a.spec, key); err != nil {
+		return 0, err
+	}
+	idx := int(binary.LittleEndian.Uint32(key))
+	if idx >= a.spec.MaxEntries {
+		return 0, fmt.Errorf("maps: %s: index %d out of range (max %d): %w",
+			a.spec.Name, idx, a.spec.MaxEntries, ErrKeyNotExist)
+	}
+	return idx, nil
+}
+
+// ValueAt returns the storage slice of entry idx without key checks;
+// it is used by the simulators to give map values stable addresses.
+func (a *arrayMap) ValueAt(idx int) []byte {
+	off := idx * a.spec.ValueSize
+	return a.storage[off : off+a.spec.ValueSize : off+a.spec.ValueSize]
+}
+
+func (a *arrayMap) Lookup(key []byte) ([]byte, bool) {
+	idx, err := a.index(key)
+	if err != nil {
+		return nil, false
+	}
+	return a.ValueAt(idx), true
+}
+
+func (a *arrayMap) Update(key, value []byte, flag UpdateFlag) error {
+	if flag == UpdateNoExist {
+		// Array entries always exist.
+		return ErrKeyExist
+	}
+	if err := checkValue(a.spec, value); err != nil {
+		return err
+	}
+	idx, err := a.index(key)
+	if err != nil {
+		return err
+	}
+	copy(a.ValueAt(idx), value)
+	return nil
+}
+
+func (a *arrayMap) Delete(key []byte) error {
+	// The kernel rejects deletes on array maps.
+	return fmt.Errorf("maps: %s: delete is not supported on array maps", a.spec.Name)
+}
+
+func (a *arrayMap) Iterate(fn func(key, value []byte) bool) {
+	var key [4]byte
+	for i := 0; i < a.spec.MaxEntries; i++ {
+		binary.LittleEndian.PutUint32(key[:], uint32(i))
+		if !fn(key[:], a.ValueAt(i)) {
+			return
+		}
+	}
+}
+
+func (a *arrayMap) Len() int { return a.spec.MaxEntries }

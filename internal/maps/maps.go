@@ -1,0 +1,199 @@
+// Package maps implements the eBPF map substrate: the persistent memory
+// that lives across program executions (Section 2.2 of the eHDL paper).
+//
+// Maps are created from ebpf.MapSpec declarations when a program is
+// loaded. The same objects are shared by the reference virtual machine,
+// the hardware pipeline simulator (as the backing store of eHDLmap
+// blocks) and the "host" side of an application, mirroring how a real
+// deployment shares map memory between the NIC and userspace tools.
+//
+// Lookup returns a reference to the stored value, not a copy: eBPF
+// programs write through the pointer returned by bpf_map_lookup_elem,
+// so value buffers are pointer-stable from insert until delete.
+package maps
+
+import (
+	"fmt"
+	"sync"
+
+	"ehdl/internal/ebpf"
+)
+
+// UpdateFlag mirrors the kernel's bpf_map_update_elem flags.
+type UpdateFlag int
+
+// Update flags.
+const (
+	UpdateAny     UpdateFlag = 0 // create or overwrite
+	UpdateNoExist UpdateFlag = 1 // create only
+	UpdateExist   UpdateFlag = 2 // overwrite only
+)
+
+// Map is the common behaviour of all map kinds.
+type Map interface {
+	// Spec returns the declaration the map was created from.
+	Spec() ebpf.MapSpec
+	// Lookup returns a pointer-stable reference to the value stored
+	// under key, or false if the key is absent.
+	Lookup(key []byte) ([]byte, bool)
+	// Update stores value under key subject to flag semantics.
+	Update(key, value []byte, flag UpdateFlag) error
+	// Delete removes key. It is an error to delete an absent key.
+	Delete(key []byte) error
+	// Iterate visits entries until fn returns false. The visited
+	// slices alias map storage.
+	Iterate(fn func(key, value []byte) bool)
+	// Len returns the number of live entries.
+	Len() int
+}
+
+// ErrKeyNotExist is returned when an operation requires a present key.
+var ErrKeyNotExist = fmt.Errorf("maps: key does not exist")
+
+// ErrKeyExist is returned by Update with UpdateNoExist on a present key.
+var ErrKeyExist = fmt.Errorf("maps: key already exists")
+
+// ErrMapFull is returned when the map is at MaxEntries.
+var ErrMapFull = fmt.Errorf("maps: map is full")
+
+// New creates a map object for the declaration.
+func New(spec ebpf.MapSpec) (Map, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case ebpf.MapArray, ebpf.MapDevMap:
+		return newArray(spec), nil
+	case ebpf.MapHash:
+		return newHash(spec, false), nil
+	case ebpf.MapLRUHash:
+		return newHash(spec, true), nil
+	case ebpf.MapLPMTrie:
+		return newLPM(spec), nil
+	}
+	return nil, fmt.Errorf("maps: unsupported kind %v", spec.Kind)
+}
+
+// MustNew is New that panics on error, for statically known specs.
+func MustNew(spec ebpf.MapSpec) Map {
+	m, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Set groups the maps of a loaded program, indexed both by name and by
+// position (the map identifier used by the compiler and simulators).
+type Set struct {
+	byName map[string]Map
+	byID   []Map
+}
+
+// NewSet instantiates every map a program declares.
+func NewSet(prog *ebpf.Program) (*Set, error) {
+	s := &Set{byName: make(map[string]Map, len(prog.Maps))}
+	for _, spec := range prog.Maps {
+		m, err := New(spec)
+		if err != nil {
+			return nil, fmt.Errorf("maps: program %q: %w", prog.Name, err)
+		}
+		s.byName[spec.Name] = m
+		s.byID = append(s.byID, m)
+	}
+	return s, nil
+}
+
+// ByName returns the named map.
+func (s *Set) ByName(name string) (Map, bool) {
+	m, ok := s.byName[name]
+	return m, ok
+}
+
+// ByID returns the map with the given identifier (position in the
+// program's declaration order).
+func (s *Set) ByID(id int) (Map, bool) {
+	if id < 0 || id >= len(s.byID) {
+		return nil, false
+	}
+	return s.byID[id], true
+}
+
+// Len returns the number of maps in the set.
+func (s *Set) Len() int { return len(s.byID) }
+
+// Synchronized wraps a map with a mutex for concurrent host/data-plane
+// access (Section 6: the host reads statistics while the NIC writes).
+type Synchronized struct {
+	mu sync.Mutex
+	m  Map
+}
+
+// Synchronize wraps m.
+func Synchronize(m Map) *Synchronized { return &Synchronized{m: m} }
+
+// Spec implements Map.
+func (s *Synchronized) Spec() ebpf.MapSpec { return s.m.Spec() }
+
+// Lookup implements Map. The returned reference aliases map storage;
+// callers that need a consistent snapshot should copy under LookupCopy.
+func (s *Synchronized) Lookup(key []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Lookup(key)
+}
+
+// LookupCopy returns a private copy of the value under key.
+func (s *Synchronized) LookupCopy(key []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Update implements Map.
+func (s *Synchronized) Update(key, value []byte, flag UpdateFlag) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Update(key, value, flag)
+}
+
+// Delete implements Map.
+func (s *Synchronized) Delete(key []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Delete(key)
+}
+
+// Iterate implements Map, holding the lock for the whole walk.
+func (s *Synchronized) Iterate(fn func(key, value []byte) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m.Iterate(fn)
+}
+
+// Len implements Map.
+func (s *Synchronized) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Len()
+}
+
+func checkKey(spec ebpf.MapSpec, key []byte) error {
+	if len(key) != spec.KeySize {
+		return fmt.Errorf("maps: %s: key size %d, want %d", spec.Name, len(key), spec.KeySize)
+	}
+	return nil
+}
+
+func checkValue(spec ebpf.MapSpec, value []byte) error {
+	if len(value) != spec.ValueSize {
+		return fmt.Errorf("maps: %s: value size %d, want %d", spec.Name, len(value), spec.ValueSize)
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+// Package nic wraps a compiled pipeline in a Corundum-style NIC shell
+// (Section 4.5): ingress and egress asynchronous FIFOs decouple the
+// pipeline from the MACs, and an offered-load driver plays the role of
+// the DPDK traffic generator of the paper's testbed, pacing packets at
+// a configured rate and measuring what comes back.
+package nic
+
+import (
+	"fmt"
+
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/maps"
+)
+
+// ShellConfig parameterises the shell.
+type ShellConfig struct {
+	// ClockHz is the shell and pipeline clock. 0 means 250 MHz.
+	ClockHz float64
+	// LinkGbps is the port speed. 0 means 100.
+	LinkGbps float64
+	// FIFOCycles is the combined latency of the MAC, the ingress and
+	// egress async FIFOs and the clock-domain crossings, added to every
+	// packet's forwarding latency. 0 means 160 (~640 ns at 250 MHz),
+	// which lands end-to-end latency near the paper's microsecond.
+	FIFOCycles int
+	// Hazard policy and other simulator knobs.
+	Sim hwsim.Config
+}
+
+func (c ShellConfig) clockHz() float64 {
+	if c.ClockHz <= 0 {
+		return 250e6
+	}
+	return c.ClockHz
+}
+
+func (c ShellConfig) linkGbps() float64 {
+	if c.LinkGbps <= 0 {
+		return 100
+	}
+	return c.LinkGbps
+}
+
+func (c ShellConfig) fifoCycles() int {
+	if c.FIFOCycles <= 0 {
+		return 160
+	}
+	return c.FIFOCycles
+}
+
+// Shell is one instantiated NIC.
+type Shell struct {
+	cfg ShellConfig
+	sim *hwsim.Sim
+	pl  *core.Pipeline
+}
+
+// New builds a shell around a compiled pipeline with fresh maps.
+func New(pl *core.Pipeline, cfg ShellConfig) (*Shell, error) {
+	cfg.Sim.ClockHz = cfg.clockHz()
+	sim, err := hwsim.New(pl, cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	return &Shell{cfg: cfg, sim: sim, pl: pl}, nil
+}
+
+// Maps exposes the host-side map interface of the NIC.
+func (sh *Shell) Maps() *maps.Set { return sh.sim.Maps() }
+
+// Sim exposes the underlying simulator (for clock pinning in tests).
+func (sh *Shell) Sim() *hwsim.Sim { return sh.sim }
+
+// Report is the traffic-generator view of a run, the measurements of
+// Section 5.1.
+type Report struct {
+	OfferedMpps  float64
+	AchievedMpps float64
+	OfferedGbps  float64
+	AchievedGbps float64
+	Sent         uint64
+	Received     uint64
+	// Lost counts packets dropped by the input queue (back-pressure),
+	// not packets the program decided to drop.
+	Lost         uint64
+	AvgLatencyNs float64
+	MaxLatencyNs float64
+	Flushes      uint64
+	FlushesPerS  float64
+	Actions      map[ebpf.XDPAction]uint64
+	Cycles       uint64
+}
+
+// LineRateMpps returns the port's packet rate for a frame size.
+func (sh *Shell) LineRateMpps(frameLen int) float64 {
+	wire := float64(frameLen+20) * 8
+	return sh.cfg.linkGbps() * 1e9 / wire / 1e6
+}
+
+// RunLoad offers `count` packets from next() at `offeredPps` and runs
+// until the pipeline drains. The generator paces arrivals in clock
+// cycles like the testbed's DPDK generator paces them on the wire.
+func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Report, error) {
+	if offeredPps <= 0 {
+		return Report{}, fmt.Errorf("nic: offered rate must be positive")
+	}
+	clock := sh.cfg.clockHz()
+	cyclesPerPacket := clock / offeredPps
+
+	var (
+		rep       Report
+		sent      int
+		due       float64
+		bytesIn   uint64
+		bytesOut  uint64
+		startStat = sh.sim.Stats()
+	)
+	rep.Actions = map[ebpf.XDPAction]uint64{}
+
+	sh.sim.OnComplete(func(r hwsim.Result) {
+		rep.Received++
+		rep.Actions[r.Action]++
+		lat := (float64(r.LatencyCycles) + float64(sh.cfg.fifoCycles())) / clock * 1e9
+		rep.AvgLatencyNs += lat
+		if lat > rep.MaxLatencyNs {
+			rep.MaxLatencyNs = lat
+		}
+	})
+	defer sh.sim.OnComplete(nil)
+
+	for sent < count || sh.sim.Busy() {
+		// Arrivals faster than the clock queue several packets per cycle.
+		for sent < count && due <= 0 {
+			pkt := next()
+			bytesIn += uint64(len(pkt))
+			if sh.sim.Inject(pkt) {
+				bytesOut += uint64(len(pkt))
+			}
+			sent++
+			due += cyclesPerPacket
+		}
+		if err := sh.sim.Step(); err != nil {
+			return rep, err
+		}
+		due--
+	}
+
+	end := sh.sim.Stats()
+	rep.Cycles = end.Cycles - startStat.Cycles
+	rep.Sent = uint64(sent)
+	rep.Lost = end.QueueDrops - startStat.QueueDrops
+	rep.Flushes = end.Flushes - startStat.Flushes
+	seconds := float64(rep.Cycles) / clock
+	if seconds > 0 {
+		rep.AchievedMpps = float64(rep.Received) / seconds / 1e6
+		rep.AchievedGbps = float64(bytesOut+20*rep.Received) * 8 / seconds / 1e9
+		rep.FlushesPerS = float64(rep.Flushes) / seconds
+	}
+	rep.OfferedMpps = offeredPps / 1e6
+	rep.OfferedGbps = float64(bytesIn+20*rep.Sent) * 8 / (float64(sent) * cyclesPerPacket / clock) / 1e9
+	if rep.Received > 0 {
+		rep.AvgLatencyNs /= float64(rep.Received)
+	}
+	return rep, nil
+}
+
+// SaturationMpps ramps the offered rate until packets are lost and
+// returns the highest loss-free throughput — how the paper determines
+// the maximum sustained rate of a design (e.g. the 29 -> 12 Mpps
+// single-flow degradation of Section 5.3).
+func (sh *Shell) SaturationMpps(next func() []byte, perStep int, startMpps, stepMpps, maxMpps float64) (float64, error) {
+	best := 0.0
+	for rate := startMpps; rate <= maxMpps; rate += stepMpps {
+		rep, err := sh.RunLoad(next, perStep, rate*1e6)
+		if err != nil {
+			return 0, err
+		}
+		if rep.Lost > 0 {
+			break
+		}
+		best = rate
+	}
+	return best, nil
+}
+
+// PinClock fixes the helper-visible time (tests).
+func (sh *Shell) PinClock(now uint64) {
+	sh.sim.SetClock(func() uint64 { return now })
+}

@@ -1,0 +1,187 @@
+// Package pktgen is the traffic-generation substrate: packet crafting
+// for the protocols the evaluation programs parse, flow-set generation
+// under uniform and Zipfian distributions, and synthetic replacements
+// for the CAIDA and MAWI traces used in Section 5.3 of the paper.
+package pktgen
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ehdl/internal/ebpf"
+)
+
+// Header sizes.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	TCPHeaderLen  = 20
+	MinFrameLen   = 60 // minimum Ethernet payload-padded frame (without FCS)
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// Flow identifies a bidirectional 5-tuple.
+type Flow struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// Reverse returns the flow in the opposite direction.
+func (f Flow) Reverse() Flow {
+	return Flow{SrcIP: f.DstIP, DstIP: f.SrcIP, SrcPort: f.DstPort, DstPort: f.SrcPort, Proto: f.Proto}
+}
+
+// PacketSpec describes one packet to build.
+type PacketSpec struct {
+	SrcMAC, DstMAC MAC
+	EtherType      uint16
+	// VLAN inserts an 802.1Q tag with this VID when non-zero.
+	VLAN uint16
+	Flow Flow
+	// TotalLen is the frame length including all headers; the payload is
+	// zero-filled. Values below the protocol minimum are raised to it.
+	TotalLen int
+	// TCPFlags applies to TCP packets (e.g. 0x02 for SYN).
+	TCPFlags uint8
+	TTL      uint8
+}
+
+// Build constructs the packet bytes.
+func Build(spec PacketSpec) []byte {
+	ttl := spec.TTL
+	if ttl == 0 {
+		ttl = 64
+	}
+	etherType := spec.EtherType
+	if etherType == 0 {
+		etherType = ebpf.EthPIP
+	}
+
+	tagLen := 0
+	if spec.VLAN != 0 {
+		tagLen = 4
+	}
+	minLen := EthHeaderLen + tagLen
+	if etherType == ebpf.EthPIP {
+		minLen += IPv4HeaderLen
+		switch spec.Flow.Proto {
+		case ebpf.IPProtoUDP:
+			minLen += UDPHeaderLen
+		case ebpf.IPProtoTCP:
+			minLen += TCPHeaderLen
+		}
+	}
+	total := spec.TotalLen
+	if total < minLen {
+		total = minLen
+	}
+
+	pkt := make([]byte, total)
+	copy(pkt[0:6], spec.DstMAC[:])
+	copy(pkt[6:12], spec.SrcMAC[:])
+	ethTypeOff := 12
+	if spec.VLAN != 0 {
+		binary.BigEndian.PutUint16(pkt[12:14], ebpf.EthPVLAN)
+		binary.BigEndian.PutUint16(pkt[14:16], spec.VLAN&0x0fff)
+		ethTypeOff = 16
+	}
+	binary.BigEndian.PutUint16(pkt[ethTypeOff:ethTypeOff+2], etherType)
+	if etherType != ebpf.EthPIP {
+		return pkt
+	}
+
+	ip := pkt[EthHeaderLen+tagLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(total-EthHeaderLen-tagLen))
+	ip[8] = ttl
+	ip[9] = spec.Flow.Proto
+	binary.BigEndian.PutUint32(ip[12:16], spec.Flow.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:20], spec.Flow.DstIP)
+	binary.BigEndian.PutUint16(ip[10:12], ipChecksum(ip[:IPv4HeaderLen]))
+
+	l4 := ip[IPv4HeaderLen:]
+	switch spec.Flow.Proto {
+	case ebpf.IPProtoUDP:
+		binary.BigEndian.PutUint16(l4[0:2], spec.Flow.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], spec.Flow.DstPort)
+		binary.BigEndian.PutUint16(l4[4:6], uint16(len(l4)))
+	case ebpf.IPProtoTCP:
+		binary.BigEndian.PutUint16(l4[0:2], spec.Flow.SrcPort)
+		binary.BigEndian.PutUint16(l4[2:4], spec.Flow.DstPort)
+		l4[12] = 5 << 4 // data offset
+		l4[13] = spec.TCPFlags
+	}
+	return pkt
+}
+
+// ipChecksum computes the IPv4 header checksum with the checksum field
+// treated as zero.
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		if i == 10 {
+			continue // checksum field
+		}
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// VerifyIPChecksum reports whether the packet's IPv4 header checksum is
+// valid.
+func VerifyIPChecksum(pkt []byte) bool {
+	if len(pkt) < EthHeaderLen+IPv4HeaderLen {
+		return false
+	}
+	hdr := pkt[EthHeaderLen : EthHeaderLen+IPv4HeaderLen]
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return uint16(sum) == 0xffff
+}
+
+// ParseFlow extracts the 5-tuple of an IPv4 packet, skipping one
+// optional 802.1Q tag.
+func ParseFlow(pkt []byte) (Flow, error) {
+	if len(pkt) < EthHeaderLen+IPv4HeaderLen {
+		return Flow{}, fmt.Errorf("pktgen: packet too short (%d bytes)", len(pkt))
+	}
+	l3 := EthHeaderLen
+	etherType := binary.BigEndian.Uint16(pkt[12:14])
+	if etherType == ebpf.EthPVLAN {
+		if len(pkt) < EthHeaderLen+4+IPv4HeaderLen {
+			return Flow{}, fmt.Errorf("pktgen: tagged packet too short")
+		}
+		etherType = binary.BigEndian.Uint16(pkt[16:18])
+		l3 += 4
+	}
+	if etherType != ebpf.EthPIP {
+		return Flow{}, fmt.Errorf("pktgen: not an IPv4 packet")
+	}
+	ip := pkt[l3:]
+	f := Flow{
+		Proto: ip[9],
+		SrcIP: binary.BigEndian.Uint32(ip[12:16]),
+		DstIP: binary.BigEndian.Uint32(ip[16:20]),
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	l4 := ip[ihl:]
+	if (f.Proto == ebpf.IPProtoUDP || f.Proto == ebpf.IPProtoTCP) && len(l4) >= 4 {
+		f.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+		f.DstPort = binary.BigEndian.Uint16(l4[2:4])
+	}
+	return f, nil
+}

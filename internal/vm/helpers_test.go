@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ehdl/internal/asm"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+)
+
+func runSrc(t *testing.T, src string, fixup func(*Env)) (Result, *Env) {
+	t.Helper()
+	prog, err := asm.Assemble("h", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixup != nil {
+		fixup(env)
+	}
+	m, err := New(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(NewPacket(make([]byte, 64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, env
+}
+
+func TestRedirectMapHelper(t *testing.T) {
+	src := `
+map tx devmap key=4 value=4 entries=8
+r1 = map[tx] ll
+r2 = 3
+r3 = 0
+call bpf_redirect_map
+exit
+`
+	res, _ := runSrc(t, src, func(env *Env) {
+		tx, _ := env.Maps.ByName("tx")
+		key := make([]byte, 4)
+		binary.LittleEndian.PutUint32(key, 3)
+		val := make([]byte, 4)
+		binary.LittleEndian.PutUint32(val, 9)
+		if err := tx.Update(key, val, maps.UpdateAny); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if res.Action != ebpf.XDPRedirect || res.RedirectIfindex != 9 {
+		t.Fatalf("redirect_map result = %+v", res)
+	}
+	// Miss: the flags argument comes back.
+	missSrc := `
+map tx devmap key=4 value=4 entries=8
+r1 = map[tx] ll
+r2 = 7
+r3 = 2
+call bpf_redirect_map
+exit
+`
+	res, _ = runSrc(t, missSrc, nil)
+	if res.Action != ebpf.XDPPass {
+		t.Fatalf("redirect_map miss = %v, want the flags value (XDP_PASS)", res.Action)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	res, _ := runSrc(t, "call bpf_ktime_get_ns\nr6 = r0\ncall bpf_ktime_get_ns\nr0 -= r6\nexit", nil)
+	if res.Action == 0 {
+		t.Error("the logical clock did not advance between samples")
+	}
+	res, _ = runSrc(t, "call bpf_jiffies64\nexit", func(env *Env) {
+		env.Now = func() uint64 { return 8_000_000 }
+	})
+	if res.Action != 2 {
+		t.Errorf("jiffies at 8ms = %v, want 2 at 250 HZ", res.Action)
+	}
+}
+
+func TestPrandomIsDeterministicPerEnv(t *testing.T) {
+	res1, _ := runSrc(t, "call bpf_get_prandom_u32\nr0 &= 0xffff\nexit", nil)
+	res2, _ := runSrc(t, "call bpf_get_prandom_u32\nr0 &= 0xffff\nexit", nil)
+	if res1.Action != res2.Action {
+		t.Error("fresh environments must seed prandom identically")
+	}
+}
+
+func TestSMPProcessorIDStub(t *testing.T) {
+	res, _ := runSrc(t, "r0 = 7\ncall bpf_get_smp_processor_id\nexit", nil)
+	if res.Action != 0 {
+		t.Errorf("smp id = %v, want the single-core stub 0", res.Action)
+	}
+}
+
+func TestXchgAndCmpXchg(t *testing.T) {
+	src := `
+*(u64 *)(r10 - 8) = 5
+r2 = 9
+r3 = r10
+r3 += -8
+lock xchg *(u64 *)(r3 + 0) r2
+r6 = r2                       ; old value 5
+r0 = 5                        ; expected for cmpxchg... wait r0 is compare operand
+r2 = 11
+lock cmpxchg *(u64 *)(r3 + 0) r2
+r7 = r0                       ; old value (9): no swap since 9 != 5... 
+r1 = *(u64 *)(r10 - 8)
+r0 = r6
+r0 <<= 16
+r1 &= 0xffff
+r0 |= r1
+exit
+`
+	// xchg leaves 9; cmpxchg with r0=5 (expected) vs memory 9 fails;
+	// memory stays 9. Result: old(5)<<16 | mem(9).
+	res, _ := runSrc(t, src, nil)
+	if uint32(res.Action) != 5<<16|9 {
+		t.Fatalf("atomic exchange results = %#x, want %#x", uint32(res.Action), 5<<16|9)
+	}
+}
+
+func TestCmpXchgSuccess(t *testing.T) {
+	src := `
+*(u64 *)(r10 - 8) = 5
+r0 = 5                        ; matches memory: the swap happens
+r2 = 11
+r3 = r10
+r3 += -8
+lock cmpxchg *(u64 *)(r3 + 0) r2
+r0 = *(u64 *)(r10 - 8)
+exit
+`
+	res, _ := runSrc(t, src, nil)
+	if res.Action != 11 {
+		t.Fatalf("cmpxchg did not swap: memory = %v", res.Action)
+	}
+}
+
+func TestUnsupportedHelperErrors(t *testing.T) {
+	prog, err := asm.Assemble("bad", "call 69\nexit") // fib_lookup unimplemented
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := NewEnv(prog)
+	m, _ := New(prog, env)
+	if _, err := m.Run(NewPacket(make([]byte, 64))); err == nil {
+		t.Fatal("unsupported helper did not error")
+	}
+}
