@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test short vet race chaos bench check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick slice: skips the chaos campaign sweep and long fuzz runs.
+short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full fault-injection campaign: every app under every fault class,
+# intensity sweep included (the tests that testing.Short skips).
+chaos:
+	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience' ./internal/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+check: vet build test race

@@ -22,6 +22,7 @@ import (
 	"ehdl/internal/baseline/hxdp"
 	"ehdl/internal/baseline/sdnet"
 	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
 	"ehdl/internal/hdl"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/nic"
@@ -29,9 +30,18 @@ import (
 	"ehdl/internal/vm"
 )
 
+func programFor(b *testing.B, app *apps.App) *ebpf.Program {
+	b.Helper()
+	prog, err := app.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
 func compileFor(b *testing.B, app *apps.App, opts core.Options) *core.Pipeline {
 	b.Helper()
-	pl, err := core.Compile(app.MustProgram(), opts)
+	pl, err := core.Compile(programFor(b, app), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -85,7 +95,7 @@ func BenchmarkFig9aThroughput(b *testing.B) {
 			gen := pktgen.NewGenerator(app.Traffic)
 			n := min(packetsForRun(b), 3000)
 			b.ResetTimer()
-			rep, err := hxdp.New().RunApp(app.MustProgram(), app.SetupHost, gen, n)
+			rep, err := hxdp.New().RunApp(programFor(b, app), app.SetupHost, gen, n)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -95,7 +105,7 @@ func BenchmarkFig9aThroughput(b *testing.B) {
 			gen := pktgen.NewGenerator(app.Traffic)
 			n := min(packetsForRun(b), 3000)
 			b.ResetTimer()
-			rep, err := bluefield.New(4).RunApp(app.MustProgram(), app.SetupHost, gen, n)
+			rep, err := bluefield.New(4).RunApp(programFor(b, app), app.SetupHost, gen, n)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -131,7 +141,7 @@ func BenchmarkFig9cStages(b *testing.B) {
 			var stages, bundles, orig int
 			for i := 0; i < b.N; i++ {
 				pl := compileFor(b, app, core.Options{})
-				bu, err := hxdp.New().StaticBundles(app.MustProgram())
+				bu, err := hxdp.New().StaticBundles(programFor(b, app))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -341,7 +351,7 @@ func BenchmarkHazardPolicy(b *testing.B) {
 // generates designs "in few seconds".
 func BenchmarkCompile(b *testing.B) {
 	for _, app := range apps.All() {
-		prog := app.MustProgram()
+		prog := programFor(b, app)
 		b.Run(app.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Compile(prog, core.Options{}); err != nil {
@@ -379,7 +389,7 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 // BenchmarkVMInterpreter measures the golden-model interpreter.
 func BenchmarkVMInterpreter(b *testing.B) {
 	app := apps.Firewall()
-	prog := app.MustProgram()
+	prog := programFor(b, app)
 	env, err := vm.NewEnv(prog)
 	if err != nil {
 		b.Fatal(err)

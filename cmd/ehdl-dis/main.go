@@ -46,7 +46,10 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown application %q", *appName))
 		}
-		prog := app.MustProgram()
+		prog, err := app.Program()
+		if err != nil {
+			fatal(err)
+		}
 		for _, m := range prog.Maps {
 			fmt.Printf("map %s %v key=%d value=%d entries=%d\n",
 				m.Name, m.Kind, m.KeySize, m.ValueSize, m.MaxEntries)

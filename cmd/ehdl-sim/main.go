@@ -16,6 +16,8 @@ import (
 
 	"ehdl/internal/apps"
 	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/faults"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/nic"
 	"ehdl/internal/pktgen"
@@ -23,13 +25,16 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "firewall", "application to run")
-		packets = flag.Int("packets", 20000, "packets to offer")
-		rate    = flag.Float64("rate", 0, "offered rate in Mpps (0: line rate for the packet size)")
-		flows   = flag.Int("flows", 0, "flow count (0: application default)")
-		pktLen  = flag.Int("pktlen", 0, "packet size (0: application default)")
-		policy  = flag.String("policy", "flush", "RAW hazard policy: flush|stall")
-		trace   = flag.String("trace", "", "replay a synthetic trace profile instead: caida|mawi")
+		appName   = flag.String("app", "firewall", "application to run")
+		packets   = flag.Int("packets", 20000, "packets to offer")
+		rate      = flag.Float64("rate", 0, "offered rate in Mpps (0: line rate for the packet size)")
+		flows     = flag.Int("flows", 0, "flow count (0: application default)")
+		pktLen    = flag.Int("pktlen", 0, "packet size (0: application default)")
+		policy    = flag.String("policy", "flush", "RAW hazard policy: flush|stall")
+		trace     = flag.String("trace", "", "replay a synthetic trace profile instead: caida|mawi")
+		intensity = flag.Float64("faults", 0, "fault-injection intensity in (0,1]: SEUs, malformed frames, overflow bursts, flush storms")
+		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault campaign (same seed: same fault sites)")
+		watchdog  = flag.Int("watchdog", 0, "livelock watchdog threshold in cycles (0: disabled)")
 	)
 	flag.Parse()
 
@@ -37,7 +42,11 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown application %q", *appName))
 	}
-	pl, err := core.Compile(app.MustProgram(), core.Options{})
+	prog, err := app.Program()
+	if err != nil {
+		fatal(err)
+	}
+	pl, err := core.Compile(prog, core.Options{})
 	if err != nil {
 		fatal(err)
 	}
@@ -46,6 +55,10 @@ func main() {
 	if *policy == "stall" {
 		cfg.Sim.Policy = hwsim.PolicyStall
 	}
+	if *intensity > 0 {
+		cfg.Faults = faults.Profile(*intensity, *faultSeed)
+	}
+	cfg.Sim.WatchdogCycles = *watchdog
 	sh, err := nic.New(pl, cfg)
 	if err != nil {
 		fatal(err)
@@ -98,9 +111,18 @@ func main() {
 	fmt.Printf("  received:  %d of %d (lost at input: %d)\n", rep.Received, rep.Sent, rep.Lost)
 	fmt.Printf("  latency:   avg %.0f ns, max %.0f ns\n", rep.AvgLatencyNs, rep.MaxLatencyNs)
 	fmt.Printf("  flushes:   %d (%.0f/s)\n", rep.Flushes, rep.FlushesPerS)
+	if inj := sh.Injector(); inj != nil {
+		fmt.Printf("  faults:    %s\n", inj.Counters())
+		fmt.Printf("             pipeline faults %d, malformed sent %d / hw-dropped %d\n",
+			rep.FaultsInjected, rep.MalformedSent, rep.MalformedDropped)
+		fmt.Printf("             overflow bursts %d (episodes %d), watchdog trips %d\n",
+			rep.OverflowBursts, rep.QueueOverflows, rep.WatchdogTrips)
+	}
 	fmt.Printf("  verdicts:\n")
-	for action, count := range rep.Actions {
-		fmt.Printf("    %-12v %d\n", action, count)
+	for action := ebpf.XDPAborted; action <= ebpf.XDPRedirect; action++ {
+		if count := rep.Actions[action]; count > 0 {
+			fmt.Printf("    %-12v %d\n", action, count)
+		}
 	}
 
 	fmt.Printf("\nhost-visible map state:\n")

@@ -6,8 +6,18 @@ import (
 	"testing"
 
 	"ehdl/internal/apps"
+	"ehdl/internal/ebpf"
 	elfobj "ehdl/internal/elf"
 )
+
+func toyProgram(t *testing.T) *ebpf.Program {
+	t.Helper()
+	prog, err := apps.Toy().Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
 
 func TestLoadProgramSources(t *testing.T) {
 	dir := t.TempDir()
@@ -26,7 +36,7 @@ func TestLoadProgramSources(t *testing.T) {
 	}
 
 	// ELF object.
-	objData, err := elfobj.Marshal(apps.Toy().MustProgram(), "xdp")
+	objData, err := elfobj.Marshal(toyProgram(t), "xdp")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +70,7 @@ func TestLoadProgramSources(t *testing.T) {
 }
 
 func TestBuildStimuli(t *testing.T) {
-	stimuli, err := buildStimuli(apps.Toy().MustProgram())
+	stimuli, err := buildStimuli(toyProgram(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,11 @@ func main() {
 		fmt.Printf("SDNet P4 baseline: %v\n\n", err)
 	}
 
-	pl, err := core.Compile(app.MustProgram(), core.Options{})
+	prog, err := app.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := core.Compile(prog, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,7 +20,11 @@ import (
 
 func main() {
 	app := apps.Firewall()
-	pl, err := core.Compile(app.MustProgram(), core.Options{})
+	prog, err := app.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := core.Compile(prog, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -29,7 +29,11 @@ func main() {
 	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "program", "stages", "VHDL kB", "LUT %", "FF %", "BRAM %")
 
 	for _, app := range append(apps.All(), apps.Toy(), apps.LeakyBucket()) {
-		pl, err := core.Compile(app.MustProgram(), core.Options{})
+		prog, err := app.Program()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl, err := core.Compile(prog, core.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

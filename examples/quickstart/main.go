@@ -23,7 +23,10 @@ func main() {
 	// 1. The unmodified eBPF/XDP program (Listing 1 of the paper,
 	//    already compiled to bytecode form).
 	app := apps.Toy()
-	prog := app.MustProgram()
+	prog, err := app.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("input: %q, %d eBPF instructions, %d map(s)\n\n",
 		prog.Name, len(prog.Instructions), len(prog.Maps))
 

@@ -49,15 +49,6 @@ func (a *App) Program() (*ebpf.Program, error) {
 	return prog, nil
 }
 
-// MustProgram is Program that panics on error.
-func (a *App) MustProgram() *ebpf.Program {
-	prog, err := a.Program()
-	if err != nil {
-		panic(err)
-	}
-	return prog
-}
-
 // Setup applies the host-side map population if any.
 func (a *App) Setup(set *maps.Set) error {
 	if a.SetupHost == nil {

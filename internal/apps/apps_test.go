@@ -13,6 +13,15 @@ import (
 	"ehdl/internal/vm"
 )
 
+func mustProgram(t testing.TB, app *App) *ebpf.Program {
+	t.Helper()
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
 func TestAllAppsAssembleAndValidate(t *testing.T) {
 	for _, app := range append(All(), Toy(), LeakyBucket()) {
 		prog, err := app.Program()
@@ -28,7 +37,7 @@ func TestAllAppsAssembleAndValidate(t *testing.T) {
 
 func TestAllAppsCompile(t *testing.T) {
 	for _, app := range append(All(), Toy(), LeakyBucket()) {
-		pl, err := core.Compile(app.MustProgram(), core.Options{})
+		pl, err := core.Compile(mustProgram(t, app), core.Options{})
 		if err != nil {
 			t.Errorf("%s: %v", app.Name, err)
 			continue
@@ -47,7 +56,7 @@ func formatILP(max int, avg float64) string {
 // the compiled pipeline and compares everything observable.
 func differential(t *testing.T, app *App, packets [][]byte) hwsim.Stats {
 	t.Helper()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 
 	refEnv, err := vm.NewEnv(prog)
 	if err != nil {
@@ -170,7 +179,7 @@ func TestFirewallDifferential(t *testing.T) {
 
 func TestFirewallSemantics(t *testing.T) {
 	app := Firewall()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 	env, _ := vm.NewEnv(prog)
 	m, _ := vm.New(prog, env)
 
@@ -208,7 +217,7 @@ func TestRouterDifferential(t *testing.T) {
 
 func TestRouterSemantics(t *testing.T) {
 	app := Router()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 	env, _ := vm.NewEnv(prog)
 	if err := app.Setup(env.Maps); err != nil {
 		t.Fatal(err)
@@ -254,7 +263,7 @@ func TestTunnelDifferential(t *testing.T) {
 
 func TestTunnelSemantics(t *testing.T) {
 	app := Tunnel()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 	env, _ := vm.NewEnv(prog)
 	if err := app.Setup(env.Maps); err != nil {
 		t.Fatal(err)
@@ -322,7 +331,7 @@ func TestDNATDifferential(t *testing.T) {
 
 func TestDNATSemantics(t *testing.T) {
 	app := DNAT()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 	env, _ := vm.NewEnv(prog)
 	m, _ := vm.New(prog, env)
 
@@ -382,7 +391,7 @@ func TestSuricataDifferential(t *testing.T) {
 
 func TestSuricataSemantics(t *testing.T) {
 	app := Suricata()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 	env, _ := vm.NewEnv(prog)
 	m, _ := vm.New(prog, env)
 
@@ -422,7 +431,7 @@ func TestLeakyBucketDifferential(t *testing.T) {
 
 func TestLeakyBucketPolices(t *testing.T) {
 	app := LeakyBucket()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 	env, _ := vm.NewEnv(prog)
 	env.Now = func() uint64 { return 0 } // no leak: every packet adds cost
 	m, _ := vm.New(prog, env)
@@ -467,7 +476,7 @@ func TestDNATNotP4Expressible(t *testing.T) {
 
 func TestLoadBalancerSemantics(t *testing.T) {
 	app := LoadBalancer()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 	env, _ := vm.NewEnv(prog)
 	if err := app.Setup(env.Maps); err != nil {
 		t.Fatal(err)
@@ -546,7 +555,7 @@ func TestLoadBalancerDifferential(t *testing.T) {
 }
 
 func TestLoadBalancerCompiles(t *testing.T) {
-	pl, err := core.Compile(LoadBalancer().MustProgram(), core.Options{})
+	pl, err := core.Compile(mustProgram(t, LoadBalancer()), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -559,7 +568,7 @@ func TestLoadBalancerCompiles(t *testing.T) {
 
 func TestSuricataVLANPath(t *testing.T) {
 	app := Suricata()
-	prog := app.MustProgram()
+	prog := mustProgram(t, app)
 	env, _ := vm.NewEnv(prog)
 	m, _ := vm.New(prog, env)
 

@@ -50,16 +50,6 @@ func Assemble(name, source string) (*ebpf.Program, error) {
 	return p.prog, nil
 }
 
-// MustAssemble is Assemble that panics on error; it is intended for
-// statically known program text (the bundled applications).
-func MustAssemble(name, source string) *ebpf.Program {
-	prog, err := Assemble(name, source)
-	if err != nil {
-		panic(err)
-	}
-	return prog
-}
-
 type pendingRef struct {
 	insIndex int
 	label    string

@@ -101,12 +101,3 @@ func (b *Builder) Program() (*ebpf.Program, error) {
 	}
 	return prog, nil
 }
-
-// MustProgram is Program that panics on error.
-func (b *Builder) MustProgram() *ebpf.Program {
-	prog, err := b.Program()
-	if err != nil {
-		panic(err)
-	}
-	return prog
-}

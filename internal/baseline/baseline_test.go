@@ -11,16 +11,26 @@ import (
 	"ehdl/internal/baseline/hxdp"
 	"ehdl/internal/baseline/sdnet"
 	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
 	"ehdl/internal/hdl"
 	"ehdl/internal/pktgen"
 )
+
+func mustProgram(t *testing.T, app *apps.App) *ebpf.Program {
+	t.Helper()
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
 
 func TestHXDPThroughputBand(t *testing.T) {
 	// Figure 9a: hXDP forwards 0.9-5.4 Mpps depending on the program.
 	m := hxdp.New()
 	for _, app := range apps.All() {
 		gen := pktgen.NewGenerator(app.Traffic)
-		rep, err := m.RunApp(app.MustProgram(), app.SetupHost, gen, 300)
+		rep, err := m.RunApp(mustProgram(t, app), app.SetupHost, gen, 300)
 		if err != nil {
 			t.Fatalf("%s: %v", app.Name, err)
 		}
@@ -38,7 +48,7 @@ func TestHXDPStaticBundleCompression(t *testing.T) {
 	// by about 50%.
 	m := hxdp.New()
 	for _, app := range apps.All() {
-		prog := app.MustProgram()
+		prog := mustProgram(t, app)
 		bundles, err := m.StaticBundles(prog)
 		if err != nil {
 			t.Fatal(err)
@@ -57,8 +67,8 @@ func TestHXDPLanesMatter(t *testing.T) {
 	app := apps.Tunnel()
 	one := &hxdp.Model{Lanes: 1}
 	two := hxdp.New()
-	b1, _ := one.StaticBundles(app.MustProgram())
-	b2, _ := two.StaticBundles(app.MustProgram())
+	b1, _ := one.StaticBundles(mustProgram(t, app))
+	b2, _ := two.StaticBundles(mustProgram(t, app))
 	if b2 >= b1 {
 		t.Errorf("2-lane bundles (%d) should undercut 1-lane (%d)", b2, b1)
 	}
@@ -69,12 +79,12 @@ func TestBluefieldScaling(t *testing.T) {
 	gen := pktgen.NewGenerator(app.Traffic)
 	packets := 300
 
-	rep1, err := bluefield.New(1).RunApp(app.MustProgram(), app.SetupHost, gen, packets)
+	rep1, err := bluefield.New(1).RunApp(mustProgram(t, app), app.SetupHost, gen, packets)
 	if err != nil {
 		t.Fatal(err)
 	}
 	gen = pktgen.NewGenerator(app.Traffic)
-	rep4, err := bluefield.New(4).RunApp(app.MustProgram(), app.SetupHost, gen, packets)
+	rep4, err := bluefield.New(4).RunApp(mustProgram(t, app), app.SetupHost, gen, packets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +129,7 @@ func TestResourceOrderingAcrossSystems(t *testing.T) {
 	// Figure 10: eHDL is comparable to hXDP and 2-4x below SDNet.
 	hx := hxdp.New().Resources()
 	for _, app := range apps.All() {
-		pl, err := core.Compile(app.MustProgram(), core.Options{})
+		pl, err := core.Compile(mustProgram(t, app), core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +163,7 @@ func TestEHDLBeatsProcessorsBy10to100x(t *testing.T) {
 	m := hxdp.New()
 	for _, app := range apps.All() {
 		gen := pktgen.NewGenerator(app.Traffic)
-		rep, err := m.RunApp(app.MustProgram(), app.SetupHost, gen, 200)
+		rep, err := m.RunApp(mustProgram(t, app), app.SetupHost, gen, 200)
 		if err != nil {
 			t.Fatal(err)
 		}

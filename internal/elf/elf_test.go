@@ -10,6 +10,15 @@ import (
 	"ehdl/internal/vm"
 )
 
+func mustProgram(t *testing.T, app *apps.App) *ebpf.Program {
+	t.Helper()
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
 func roundTrip(t *testing.T, prog *ebpf.Program, section string) *ebpf.Program {
 	t.Helper()
 	data, err := Marshal(prog, section)
@@ -29,7 +38,7 @@ func roundTrip(t *testing.T, prog *ebpf.Program, section string) *ebpf.Program {
 
 func TestRoundTripAllApps(t *testing.T) {
 	for _, app := range append(apps.All(), apps.Toy(), apps.LeakyBucket()) {
-		prog := app.MustProgram()
+		prog := mustProgram(t, app)
 		got := roundTrip(t, prog, "xdp")
 		if len(got.Instructions) != len(prog.Instructions) {
 			t.Fatalf("%s: %d instructions after round trip, want %d",
@@ -54,7 +63,7 @@ func TestRoundTripAllApps(t *testing.T) {
 
 func TestLoadedObjectCompilesAndRuns(t *testing.T) {
 	// The full paper workflow: object file in, pipeline out.
-	prog := roundTrip(t, apps.Toy().MustProgram(), "xdp")
+	prog := roundTrip(t, mustProgram(t, apps.Toy()), "xdp")
 	pl, err := core.Compile(prog, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +94,7 @@ func TestLoadedObjectCompilesAndRuns(t *testing.T) {
 func TestRelocationsAreBlankInTheObject(t *testing.T) {
 	// The emitted text must carry zeroed LDDW immediates (the loader
 	// fills them), and Load must restore the symbolic references.
-	prog := apps.Toy().MustProgram()
+	prog := mustProgram(t, apps.Toy())
 	data, err := Marshal(prog, "xdp")
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +119,7 @@ func TestRelocationsAreBlankInTheObject(t *testing.T) {
 }
 
 func TestProgramSelection(t *testing.T) {
-	obj, err := Load(bytes.NewReader(mustMarshal(t, apps.Toy().MustProgram(), "xdp/main")))
+	obj, err := Load(bytes.NewReader(mustMarshal(t, mustProgram(t, apps.Toy()), "xdp/main")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +148,7 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Error("accepted garbage")
 	}
 	// A valid ELF with no executable sections.
-	prog := apps.Toy().MustProgram()
+	prog := mustProgram(t, apps.Toy())
 	data := mustMarshal(t, prog, "xdp")
 	// Clear the EXECINSTR flag of section 1 (flags live at shoff + 1*64 + 8).
 	shoff := int(uint64(data[40]) | uint64(data[41])<<8)

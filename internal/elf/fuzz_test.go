@@ -12,7 +12,11 @@ import (
 func FuzzLoad(f *testing.F) {
 	for _, app := range []string{"toy", "firewall"} {
 		a, _ := apps.ByName(app)
-		if data, err := Marshal(a.MustProgram(), "xdp"); err == nil {
+		prog, err := a.Program()
+		if err != nil {
+			f.Fatal(err)
+		}
+		if data, err := Marshal(prog, "xdp"); err == nil {
 			f.Add(data)
 		}
 	}

@@ -262,6 +262,38 @@ func TestFig8MatchesPaperScale(t *testing.T) {
 	}
 }
 
+func TestResilienceShape(t *testing.T) {
+	tab := run(t, "resilience")
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want a baseline plus one per fault class", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "none" {
+		t.Fatalf("first row %q, want the fault-free baseline", tab.Rows[0][0])
+	}
+	if got := cellF(t, tab, 0, "Faults"); got != 0 {
+		t.Errorf("baseline row injected %v faults", got)
+	}
+	if cellF(t, tab, 0, "Aborted") != 0 || cellF(t, tab, 0, "Watchdog") != 0 {
+		t.Error("fault-free baseline shows aborts or watchdog trips")
+	}
+	for i, row := range tab.Rows {
+		sent := cellF(t, tab, i, "Sent")
+		recv := cellF(t, tab, i, "Received")
+		if sent == 0 {
+			t.Errorf("%s: campaign sent nothing", row[0])
+		}
+		if recv == 0 {
+			t.Errorf("%s: pipeline answered nothing — degradation was not graceful", row[0])
+		}
+		if cellF(t, tab, i, "Watchdog") != 0 {
+			t.Errorf("%s: watchdog tripped during a survivable campaign", row[0])
+		}
+		if i > 0 && cellF(t, tab, i, "Faults") == 0 {
+			t.Errorf("%s: campaign injected no faults", row[0])
+		}
+	}
+}
+
 func TestLoadBalancerDemo(t *testing.T) {
 	tab := run(t, "lb")
 	if len(tab.Rows) != 4 {

@@ -1,0 +1,212 @@
+package faults
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ehdl/internal/pktgen"
+)
+
+func TestRollDeterministic(t *testing.T) {
+	cfg := Profile(1.0, 42)
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 5000; i++ {
+		class := Class(i % int(NumClasses))
+		if a.Roll(class) != b.Roll(class) {
+			t.Fatalf("draw %d diverged between two injectors with the same seed", i)
+		}
+		if a.Intn(64) != b.Intn(64) {
+			t.Fatalf("site draw %d diverged between two injectors with the same seed", i)
+		}
+	}
+}
+
+func TestDisabledClassesDoNotPerturbTheStream(t *testing.T) {
+	// Rolling a disabled class must not consume randomness, so the
+	// decision stream for an enabled class is the same whether the other
+	// classes are configured or not.
+	only := New(Single(SEURegister, 0.5, 9))
+	mixed := New(Single(SEURegister, 0.5, 9))
+	var a, b []bool
+	for i := 0; i < 2000; i++ {
+		a = append(a, only.Roll(SEURegister))
+		mixed.Roll(FlushStorm) // rate 0: must be a pure no
+		if mixed.Roll(FlushStorm) {
+			t.Fatal("disabled class fired")
+		}
+		b = append(b, mixed.Roll(SEURegister))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d changed when disabled classes were interleaved", i)
+		}
+	}
+}
+
+func TestSeedChangesTheStream(t *testing.T) {
+	a, b := New(Single(SEUPacket, 0.5, 1)), New(Single(SEUPacket, 0.5, 2))
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.Roll(SEUPacket) != b.Roll(SEUPacket) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("200 draws identical across different seeds")
+	}
+}
+
+func TestRollRespectsRates(t *testing.T) {
+	inj := New(Single(MalformedTraffic, 0.25, 7))
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if inj.Roll(MalformedTraffic) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.22 || got > 0.28 {
+		t.Errorf("rate 0.25 produced %.3f over %d draws", got, n)
+	}
+	if New(Config{}).Roll(MalformedTraffic) {
+		t.Error("zero-rate class fired")
+	}
+}
+
+func TestConfigEnabledAndProfiles(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("empty config reports enabled")
+	}
+	if Profile(0, 1).Enabled() || Profile(-3, 1).Enabled() {
+		t.Error("zero/negative intensity must disable everything")
+	}
+	full := Profile(1.0, 1)
+	if !full.Enabled() {
+		t.Error("full profile reports disabled")
+	}
+	half := Profile(0.5, 1)
+	for _, class := range Classes() {
+		if full.Rate(class) <= 0 {
+			t.Errorf("%s: full profile leaves the class off", class)
+		}
+		if got, want := half.Rate(class), full.Rate(class)/2; got != want {
+			t.Errorf("%s: half intensity rate %v, want %v", class, got, want)
+		}
+	}
+	for _, class := range Classes() {
+		cfg := Single(class, 0.1, 1)
+		for _, other := range Classes() {
+			want := 0.0
+			if other == class {
+				want = 0.1
+			}
+			if cfg.Rate(other) != want {
+				t.Errorf("Single(%s): rate for %s = %v", class, other, cfg.Rate(other))
+			}
+		}
+	}
+}
+
+func TestBurstLenDefault(t *testing.T) {
+	if got := (Config{}).BurstLen(); got != 64 {
+		t.Errorf("default burst = %d", got)
+	}
+	if got := (Config{OverflowBurstLen: 7}).BurstLen(); got != 7 {
+		t.Errorf("configured burst = %d", got)
+	}
+	if got := New(Config{OverflowBurstLen: 7}).BurstLen(); got != 7 {
+		t.Errorf("injector burst = %d", got)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	inj := New(Profile(1, 3))
+	for _, n := range []int{-1, 0, 1} {
+		if got := inj.Intn(n); got != 0 {
+			t.Errorf("Intn(%d) = %d", n, got)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if got := inj.Intn(8); got < 0 || got >= 8 {
+			t.Fatalf("Intn(8) = %d", got)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	inj := New(Config{})
+	if s := inj.Counters().String(); s != "none" {
+		t.Errorf("fresh counters stringify as %q", s)
+	}
+	inj.Note(SEUStack)
+	inj.Note(SEUStack)
+	inj.Note(FlushStorm)
+	ctr := inj.Counters()
+	if ctr.ByClass[SEUStack] != 2 || ctr.ByClass[FlushStorm] != 1 || ctr.Total() != 3 {
+		t.Errorf("counters = %+v", ctr)
+	}
+	s := ctr.String()
+	if !strings.Contains(s, "seu-stack=2") || !strings.Contains(s, "flush-storm=1") {
+		t.Errorf("counter string = %q", s)
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, class := range Classes() {
+		name := class.String()
+		if name == "" || strings.Contains(name, "?") || seen[name] {
+			t.Errorf("class %d has a bad or duplicate name %q", class, name)
+		}
+		seen[name] = true
+	}
+	if len(Classes()) != int(NumClasses) {
+		t.Fatalf("Classes() returned %d of %d", len(Classes()), NumClasses)
+	}
+}
+
+func TestWrapTraffic(t *testing.T) {
+	payload := pktgen.Build(pktgen.PacketSpec{
+		Flow:     pktgen.Flow{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 17},
+		TotalLen: 64,
+	})
+	src := func() []byte { return append([]byte(nil), payload...) }
+
+	var nilInj *Injector
+	if got := nilInj.WrapTraffic(src); got == nil {
+		t.Fatal("nil injector must pass the source through")
+	}
+	clean := New(Single(SEURegister, 1, 1))
+	for i := 0; i < 10; i++ {
+		if !bytes.Equal(clean.WrapTraffic(src)(), payload) {
+			t.Fatal("zero malform rate changed traffic")
+		}
+	}
+
+	always := New(Single(MalformedTraffic, 1, 5))
+	damaged := 0
+	for i := 0; i < 200; i++ {
+		if !bytes.Equal(always.WrapTraffic(src)(), payload) {
+			damaged++
+		}
+	}
+	// Some malformations (e.g. a bogus length field) keep the frame
+	// length but every draw must be counted.
+	if always.Counters().ByClass[MalformedTraffic] != 200 {
+		t.Errorf("malform counter = %d, want 200", always.Counters().ByClass[MalformedTraffic])
+	}
+	if damaged < 150 {
+		t.Errorf("only %d/200 frames visibly damaged at rate 1", damaged)
+	}
+
+	// Same seed, same campaign: identical byte streams.
+	a := New(Profile(1, 77)).WrapTraffic(src)
+	b := New(Profile(1, 77)).WrapTraffic(src)
+	for i := 0; i < 500; i++ {
+		if !bytes.Equal(a(), b()) {
+			t.Fatalf("frame %d diverged between same-seed campaigns", i)
+		}
+	}
+}

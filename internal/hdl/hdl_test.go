@@ -14,7 +14,11 @@ func compileApp(t *testing.T, name string, opts core.Options) *core.Pipeline {
 	if !ok {
 		t.Fatalf("unknown app %q", name)
 	}
-	pl, err := core.Compile(app.MustProgram(), opts)
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.Compile(prog, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

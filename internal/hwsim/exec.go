@@ -302,6 +302,7 @@ func (s *Sim) memFault(j *job, op *core.Op, err error) error {
 	if op.Access != nil && op.Access.Area == ddg.AreaPacket {
 		j.done = true
 		j.action = s.cfg.oobAction()
+		s.stats.MalformedDropped++
 		return nil
 	}
 	return err
@@ -493,6 +494,6 @@ func (s *Sim) rawHazardCheckKey(j *job, mapID int, key string, t int) {
 		if s.debug != nil {
 			s.debug(fmt.Sprintf("cycle %d: seq %d writes map%d key=%x at stage %d -> flush", s.cycle, j.seq, mapID, key, t))
 		}
-		s.flushVictims(mb.FlushFromStage, t, mapID, key)
+		s.flushVictims(mb.FlushFromStage, t, mapID, key, false)
 	}
 }

@@ -1,0 +1,113 @@
+package hwsim
+
+import (
+	"ehdl/internal/ebpf"
+	"ehdl/internal/faults"
+)
+
+// applyFaults lets the configured injector strike the live pipeline
+// state at the top of a cycle: single-event upsets in packet-frame
+// registers, stack bytes, in-flight packet data and map entries, plus
+// forced flush storms. Every applied fault is recorded both in the
+// injector's per-class counters and in Stats.FaultsInjected, so a
+// campaign's effect is fully visible from the outside.
+//
+// All decisions draw from the injector's seeded PRNG and the pipeline
+// advances deterministically, so a campaign with a fixed seed hits the
+// same fault sites on every run.
+func (s *Sim) applyFaults() {
+	inj := s.cfg.Faults
+	if inj == nil {
+		return
+	}
+
+	// In-flight packets, oldest first, as deterministic SEU targets.
+	var jobs []*job
+	for t := len(s.stages) - 1; t >= 0; t-- {
+		if s.stages[t] != nil {
+			jobs = append(jobs, s.stages[t])
+		}
+	}
+
+	if inj.Roll(faults.SEURegister) && len(jobs) > 0 {
+		j := jobs[inj.Intn(len(jobs))]
+		// R0-R9 are carried pipeline registers; R10 is synthesised
+		// wiring, not a flip-flop.
+		reg := ebpf.Register(inj.Intn(10))
+		j.st.Regs[reg] ^= 1 << inj.Intn(64)
+		s.noteFault(inj, faults.SEURegister)
+	}
+
+	if inj.Roll(faults.SEUStack) && len(jobs) > 0 {
+		j := jobs[inj.Intn(len(jobs))]
+		j.st.Stack[inj.Intn(ebpf.StackSize)] ^= 1 << inj.Intn(8)
+		s.noteFault(inj, faults.SEUStack)
+	}
+
+	if inj.Roll(faults.SEUPacket) && len(jobs) > 0 {
+		j := jobs[inj.Intn(len(jobs))]
+		if data := j.st.Pkt.Bytes(); len(data) > 0 {
+			data[inj.Intn(len(data))] ^= 1 << inj.Intn(8)
+			s.noteFault(inj, faults.SEUPacket)
+		}
+	}
+
+	if inj.Roll(faults.SEUMapEntry) && s.env.Maps.Len() > 0 {
+		m, _ := s.env.Maps.ByID(inj.Intn(s.env.Maps.Len()))
+		if n := m.Len(); n > 0 {
+			victim := inj.Intn(n)
+			i := 0
+			m.Iterate(func(_, v []byte) bool {
+				if i == victim {
+					if len(v) > 0 {
+						v[inj.Intn(len(v))] ^= 1 << inj.Intn(8)
+						s.noteFault(inj, faults.SEUMapEntry)
+					}
+					return false
+				}
+				i++
+				return true
+			})
+		}
+	}
+
+	if inj.Roll(faults.FlushStorm) && s.stallPoint < 0 {
+		s.forceFlushStorm(inj)
+	}
+}
+
+func (s *Sim) noteFault(inj *faults.Injector, class faults.Class) {
+	inj.Note(class)
+	s.stats.FaultsInjected++
+}
+
+// forceFlushStorm fires a spurious Flush Evaluation verdict on one
+// flush-protected map: the packets in the hazard window are recalled
+// and replayed (when safe) and the reload dead time is charged, exactly
+// as if a stale read had been detected. Pipelines without a
+// flush-protected map are immune.
+func (s *Sim) forceFlushStorm(inj *faults.Injector) {
+	var ids []int
+	for i := range s.pl.Maps {
+		if s.pl.Maps[i].NeedsFlush {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	mb := &s.pl.Maps[ids[inj.Intn(len(ids))]]
+	writeStage := 0
+	for _, w := range mb.WriteStages {
+		if w > writeStage {
+			writeStage = w
+		}
+	}
+	if writeStage <= mb.FlushFromStage {
+		return
+	}
+	// An empty key matches no unconfirmed read; force selects the safe
+	// victims regardless.
+	s.flushVictims(mb.FlushFromStage, writeStage, mb.MapID, "", true)
+	s.noteFault(inj, faults.FlushStorm)
+}

@@ -9,6 +9,7 @@ import (
 	"ehdl/internal/asm"
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
+	"ehdl/internal/pktgen"
 	"ehdl/internal/vm"
 )
 
@@ -193,37 +194,106 @@ func randCmp(r *rand.Rand) ebpf.JumpOp {
 	return []ebpf.JumpOp{ebpf.JumpEq, ebpf.JumpNE, ebpf.JumpGT, ebpf.JumpLT, ebpf.JumpSGT, ebpf.JumpSet}[r.Intn(6)]
 }
 
+// fuzzDifferential verifies one generated program against the reference
+// interpreter on the given traffic: verdicts, packet bytes and final
+// map state must all match.
+func fuzzDifferential(t *testing.T, seed int64, prog *ebpf.Program, opts core.Options, packets [][]byte) {
+	t.Helper()
+	pl, err := core.Compile(prog, opts)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v", seed, err)
+	}
+
+	// Reference run.
+	refEnv, err := vm.NewEnv(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEnv.Now = func() uint64 { return 0 }
+	machine, err := vm.New(prog, refEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type refOut struct {
+		action ebpf.XDPAction
+		data   []byte
+	}
+	refs := make([]refOut, len(packets))
+	for i, data := range packets {
+		p := vm.NewPacket(data)
+		res, err := machine.Run(p)
+		if err != nil {
+			t.Fatalf("seed %d packet %d: reference: %v", seed, i, err)
+		}
+		refs[i] = refOut{res.Action, append([]byte(nil), p.Bytes()...)}
+	}
+
+	sim, err := New(pl, Config{StrictCarryCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetClock(func() uint64 { return 0 })
+	sim.KeepData(true)
+	var results []Result
+	sim.OnComplete(func(res Result) { results = append(results, res) })
+	for _, data := range packets {
+		for !sim.InputFree() {
+			if err := sim.Step(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		sim.Inject(data)
+		if err := sim.Step(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if err := sim.RunToCompletion(1 << 22); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if len(results) != len(packets) {
+		t.Fatalf("seed %d: %d of %d packets completed", seed, len(results), len(packets))
+	}
+	for _, res := range results {
+		ref := refs[res.Seq]
+		if res.Action != ref.action {
+			t.Fatalf("seed %d packet %d (%dB): action %v vs reference %v\n%s",
+				seed, res.Seq, len(packets[res.Seq]), res.Action, ref.action, ebpf.Disassemble(prog.Instructions))
+		}
+		if !bytes.Equal(res.Data, ref.data) {
+			t.Fatalf("seed %d packet %d (%dB): packet bytes diverge\n%s",
+				seed, res.Seq, len(packets[res.Seq]), ebpf.Disassemble(prog.Instructions))
+		}
+	}
+	// Final map state.
+	for id := 0; id < refEnv.Maps.Len(); id++ {
+		rm, _ := refEnv.Maps.ByID(id)
+		gm, _ := sim.Maps().ByID(id)
+		if rm.Len() != gm.Len() {
+			t.Fatalf("seed %d: map %d entries %d vs %d", seed, id, gm.Len(), rm.Len())
+		}
+		rm.Iterate(func(k, v []byte) bool {
+			gv, ok := gm.Lookup(k)
+			if !ok || !bytes.Equal(gv, v) {
+				t.Fatalf("seed %d: map %d key %x mismatch (%x vs %x)", seed, id, k, gv, v)
+			}
+			return true
+		})
+	}
+}
+
 // TestFuzzDifferential compiles random programs and verifies the
-// pipeline against the reference interpreter on random traffic:
-// verdicts, packet bytes and final map state must all match.
+// pipeline against the reference interpreter on random traffic.
 func TestFuzzDifferential(t *testing.T) {
 	seeds := 60
 	if testing.Short() {
 		seeds = 10
 	}
-	compiled := 0
 	for seed := int64(0); seed < int64(seeds); seed++ {
 		prog, err := generateProgram(seed)
 		if err != nil {
 			t.Fatalf("seed %d: generator produced an invalid program: %v", seed, err)
 		}
-		pl, err := core.Compile(prog, core.Options{})
-		if err != nil {
-			t.Fatalf("seed %d: compile: %v", seed, err)
-		}
-		compiled++
-
-		// Reference run.
-		refEnv, err := vm.NewEnv(prog)
-		if err != nil {
-			t.Fatal(err)
-		}
-		refEnv.Now = func() uint64 { return 0 }
-		machine, err := vm.New(prog, refEnv)
-		if err != nil {
-			t.Fatal(err)
-		}
-
 		r := rand.New(rand.NewSource(seed * 77))
 		packets := make([][]byte, 80)
 		for i := range packets {
@@ -231,29 +301,83 @@ func TestFuzzDifferential(t *testing.T) {
 			r.Read(pkt)
 			packets[i] = pkt
 		}
+		fuzzDifferential(t, seed, prog, core.Options{}, packets)
+	}
+}
 
-		type refOut struct {
-			action ebpf.XDPAction
-			data   []byte
+// malformedCorpus is the fault-model seed corpus: every malformation
+// class applied to a well-formed 64-byte UDP frame, plus straight cuts
+// at the boundary offsets of the generated programs' 40-byte bounds
+// check, plus healthy frames so hazard machinery still engages.
+func malformedCorpus(seed int64) [][]byte {
+	base := pktgen.Build(pktgen.PacketSpec{
+		Flow:     pktgen.Flow{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 4242, DstPort: 53, Proto: 17},
+		TotalLen: 64,
+	})
+	r := rand.New(rand.NewSource(seed))
+	var out [][]byte
+	for _, kind := range pktgen.MalformKinds() {
+		for i := 0; i < 5; i++ {
+			out = append(out, pktgen.Malform(base, kind, r))
 		}
-		refs := make([]refOut, len(packets))
-		for i, data := range packets {
-			p := vm.NewPacket(data)
-			res, err := machine.Run(p)
-			if err != nil {
-				t.Fatalf("seed %d packet %d: reference: %v", seed, i, err)
-			}
-			refs[i] = refOut{res.Action, append([]byte(nil), p.Bytes()...)}
-		}
+	}
+	for _, n := range []int{0, 1, 13, 14, 33, 39, 40, 41, 48, len(base)} {
+		out = append(out, append([]byte(nil), base[:n]...))
+	}
+	for i := 0; i < 20; i++ {
+		pkt := make([]byte, 48+r.Intn(64))
+		r.Read(pkt)
+		out = append(out, pkt)
+	}
+	return out
+}
 
-		sim, err := New(pl, Config{StrictCarryCheck: true})
+// TestFuzzDifferentialMalformedCorpus runs the malformed seed corpus
+// through random programs with bounds-check elision disabled, so the
+// programs' own 40-byte check stays in hardware and the pipeline must
+// match the reference bit for bit on every damaged frame — truncated,
+// zero-length and jumbo alike.
+func TestFuzzDifferentialMalformedCorpus(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		prog, err := generateProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fuzzDifferential(t, seed, prog, core.Options{DisableBoundsElision: true}, malformedCorpus(seed*131))
+	}
+}
+
+// TestFuzzMalformedCorpusElidedChecks runs the same corpus with elision
+// enabled (the shipping configuration): here the hardware bounds check
+// owns the short frames, so the properties are weaker but universal —
+// no simulator error, every packet retires, every verdict is legal, and
+// runts inside the Ethernet/IP headers resolve to the OOB action.
+func TestFuzzMalformedCorpusElidedChecks(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		prog, err := generateProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pl, err := core.Compile(prog, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		sim, err := New(pl, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		sim.SetClock(func() uint64 { return 0 })
-		sim.KeepData(true)
 		var results []Result
 		sim.OnComplete(func(res Result) { results = append(results, res) })
+		packets := malformedCorpus(seed * 131)
 		for _, data := range packets {
 			for !sim.InputFree() {
 				if err := sim.Step(); err != nil {
@@ -272,34 +396,10 @@ func TestFuzzDifferential(t *testing.T) {
 			t.Fatalf("seed %d: %d of %d packets completed", seed, len(results), len(packets))
 		}
 		for _, res := range results {
-			ref := refs[res.Seq]
-			if res.Action != ref.action {
-				t.Fatalf("seed %d packet %d: action %v vs reference %v\n%s",
-					seed, res.Seq, res.Action, ref.action, ebpf.Disassemble(prog.Instructions))
-			}
-			if !bytes.Equal(res.Data, ref.data) {
-				t.Fatalf("seed %d packet %d: packet bytes diverge\n%s",
-					seed, res.Seq, ebpf.Disassemble(prog.Instructions))
+			if res.Action > ebpf.XDPRedirect {
+				t.Fatalf("seed %d packet %d: illegal verdict %d", seed, res.Seq, res.Action)
 			}
 		}
-		// Final map state.
-		for id := 0; id < refEnv.Maps.Len(); id++ {
-			rm, _ := refEnv.Maps.ByID(id)
-			gm, _ := sim.Maps().ByID(id)
-			if rm.Len() != gm.Len() {
-				t.Fatalf("seed %d: map %d entries %d vs %d", seed, id, gm.Len(), rm.Len())
-			}
-			rm.Iterate(func(k, v []byte) bool {
-				gv, ok := gm.Lookup(k)
-				if !ok || !bytes.Equal(gv, v) {
-					t.Fatalf("seed %d: map %d key %x mismatch (%x vs %x)", seed, id, k, gv, v)
-				}
-				return true
-			})
-		}
-	}
-	if compiled != seeds {
-		t.Fatalf("compiled %d of %d generated programs", compiled, seeds)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
+	"ehdl/internal/faults"
 	"ehdl/internal/maps"
 	"ehdl/internal/vm"
 )
@@ -53,6 +54,18 @@ type Config struct {
 	StrictCarryCheck bool
 	// InputQueuePackets bounds the ingress queue. 0 means 4096.
 	InputQueuePackets int
+	// Faults, when non-nil, injects deterministic hardware faults (SEU
+	// bit flips in registers, stack bytes, packet data and map entries,
+	// plus forced flush storms) every cycle. It also switches the
+	// pipeline into degraded-execution mode: a packet whose fault-
+	// corrupted state makes an operation unexecutable retires as
+	// XDP_ABORTED instead of erroring the simulation.
+	Faults *faults.Injector
+	// WatchdogCycles trips a LivelockError when no packet retires for
+	// this many cycles while work remains in flight — the hardware
+	// watchdog against stall-policy and flush-reload livelock. 0
+	// disables the watchdog.
+	WatchdogCycles int
 }
 
 func (c Config) clockHz() float64 {
@@ -105,6 +118,22 @@ type Stats struct {
 	Actions        map[ebpf.XDPAction]uint64
 	LatencySum     uint64
 	LatencyMax     uint64
+
+	// FaultsInjected counts faults the injector applied inside the
+	// pipeline (SEU bit flips and forced flush storms).
+	FaultsInjected uint64
+	// MalformedDropped counts packets whose verdict was forced by the
+	// hardware bounds check (out-of-bounds packet access), the path
+	// malformed ingress traffic takes.
+	MalformedDropped uint64
+	// QueueOverflows counts episodes in which the ingress queue hit its
+	// bound (edge-triggered; QueueDrops counts individual packets).
+	QueueOverflows uint64
+	// WatchdogTrips counts livelock detections by the watchdog.
+	WatchdogTrips uint64
+	// AbortedFaults counts packets retired as XDP_ABORTED because
+	// injected faults made their state unexecutable.
+	AbortedFaults uint64
 }
 
 // Mpps converts the completed-packet count to millions of packets per
@@ -233,6 +262,9 @@ type Sim struct {
 
 	injectGap int // cycles until the input accepts the next packet
 
+	queueFull  bool   // last Inject hit the bound (overflow episode edge)
+	lastRetire uint64 // cycle of the last packet retirement (watchdog)
+
 	shadows []warShadow
 
 	mapBlockOf map[int]*core.MapBlock
@@ -316,8 +348,13 @@ func (s *Sim) InputFree() bool {
 func (s *Sim) Inject(data []byte) bool {
 	if !s.InputFree() {
 		s.stats.QueueDrops++
+		if !s.queueFull {
+			s.queueFull = true
+			s.stats.QueueOverflows++
+		}
 		return false
 	}
+	s.queueFull = false
 	frames := (len(data) + s.frameBytes - 1) / s.frameBytes
 	if frames < 1 {
 		frames = 1
@@ -377,6 +414,7 @@ func (s *Sim) Step() error {
 	s.cycle++
 	s.stats.Cycles++
 	s.expireShadows()
+	s.applyFaults()
 
 	last := len(s.stages) - 1
 
@@ -420,11 +458,23 @@ func (s *Sim) Step() error {
 		j.stage = t
 		j.execStage = t
 		if err := s.execStage(j, t); err != nil {
+			if s.cfg.Faults != nil {
+				// Degraded execution: the hardware has no error channel,
+				// so a packet whose fault-corrupted state makes an op
+				// unexecutable latches XDP_ABORTED and keeps flowing.
+				j.done = true
+				j.action = ebpf.XDPAborted
+				s.stats.AbortedFaults++
+				continue
+			}
 			return err
 		}
 	}
 	if s.strictErr != nil {
 		return s.strictErr
+	}
+	if err := s.checkWatchdog(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -478,7 +528,14 @@ func (s *Sim) injectFromQueue() {
 
 // complete retires a packet.
 func (s *Sim) complete(j *job) {
+	if s.cfg.Faults != nil && j.action > ebpf.XDPRedirect {
+		// A fault-corrupted verdict register leaves the legal XDP range;
+		// the shell treats any unknown verdict as an abort, like the
+		// kernel does.
+		j.action = ebpf.XDPAborted
+	}
 	latency := s.cycle - j.injectedAt
+	s.lastRetire = s.cycle
 	s.stats.Completed++
 	s.stats.LatencySum += latency
 	if latency > s.stats.LatencyMax {
@@ -523,7 +580,11 @@ func (s *Sim) expireShadows() {
 //     re-injected victims would reorder same-key accesses. Such packets
 //     cannot have committed map effects past the elastic buffer, so
 //     their replay is side-effect free.
-func (s *Sim) flushVictims(from, writeStage, mapID int, key string) {
+// When force is set (fault injection: a spurious Flush Evaluation
+// verdict), the flush proceeds even without a matching stale reader;
+// packets whose replay would repeat committed map effects are left
+// flowing instead of recalled, so a forced flush is always safe.
+func (s *Sim) flushVictims(from, writeStage, mapID int, key string, force bool) {
 	minRead := writeStage
 	if mb := s.mapBlockOf[mapID]; mb != nil {
 		for _, r := range mb.ReadStages {
@@ -550,7 +611,7 @@ func (s *Sim) flushVictims(from, writeStage, mapID int, key string) {
 		victims = append(victims, j)
 		s.stages[t] = nil
 	}
-	if !matched {
+	if !matched && !force {
 		// No stale reader after all: put the recalled packets back.
 		for _, v := range victims {
 			s.stages[v.stage] = v
@@ -559,6 +620,7 @@ func (s *Sim) flushVictims(from, writeStage, mapID int, key string) {
 	}
 	// Victims were collected from high to low stages, i.e. oldest first:
 	// re-injecting in this order preserves the pipeline's relative order.
+	kept := victims[:0]
 	for _, v := range victims {
 		if from > 0 && v.stage == from && v.execStage < from {
 			// Recalled on arrival at the elastic-buffer stage, before its
@@ -570,20 +632,30 @@ func (s *Sim) flushVictims(from, writeStage, mapID int, key string) {
 		if from == 0 || snap == nil {
 			snap = v.initial
 		}
-		if v.commits != snap.commits && s.strictErr == nil {
-			s.strictErr = fmt.Errorf("hwsim: flush from %d (write %d) would replay packet %d (stage %d, execStage %d) past %d committed map effects",
-				from, writeStage, v.seq, v.stage, v.execStage, v.commits-snap.commits)
+		if v.commits != snap.commits {
+			if force {
+				// Replaying would repeat committed side effects; a real
+				// flush never selects such a packet, so the forced one
+				// must let it keep flowing.
+				s.stages[v.stage] = v
+				continue
+			}
+			if s.strictErr == nil {
+				s.strictErr = fmt.Errorf("hwsim: flush from %d (write %d) would replay packet %d (stage %d, execStage %d) past %d committed map effects",
+					from, writeStage, v.seq, v.stage, v.execStage, v.commits-snap.commits)
+			}
 		}
 		v.restore(snap)
 		v.flushed++
 		v.execStage = from - 1
+		kept = append(kept, v)
 	}
-	s.reload = append(victims, s.reload...)
+	s.reload = append(append([]*job(nil), kept...), s.reload...)
 	s.stallPoint = from
 	s.stallDrainTo = -1
 	s.reloadDelay = s.cfg.reloadCycles()
 	s.stats.Flushes++
-	s.stats.FlushedPackets += uint64(len(victims))
+	s.stats.FlushedPackets += uint64(len(kept))
 }
 
 // SetClock overrides the nanosecond clock visible to time helpers

@@ -74,15 +74,6 @@ func New(spec ebpf.MapSpec) (Map, error) {
 	return nil, fmt.Errorf("maps: unsupported kind %v", spec.Kind)
 }
 
-// MustNew is New that panics on error, for statically known specs.
-func MustNew(spec ebpf.MapSpec) Map {
-	m, err := New(spec)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Set groups the maps of a loaded program, indexed both by name and by
 // position (the map identifier used by the compiler and simulators).
 type Set struct {

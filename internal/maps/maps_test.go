@@ -10,6 +10,16 @@ import (
 	"ehdl/internal/ebpf"
 )
 
+// mustNew builds a map from a spec known to be valid; tests may panic
+// on impossible construction errors, the library itself may not.
+func mustNew(spec ebpf.MapSpec) Map {
+	m, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 func u32key(v uint32) []byte {
 	k := make([]byte, 4)
 	binary.LittleEndian.PutUint32(k, v)
@@ -23,7 +33,7 @@ func u64val(v uint64) []byte {
 }
 
 func TestArrayMap(t *testing.T) {
-	m := MustNew(ebpf.MapSpec{Name: "a", Kind: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 4})
+	m := mustNew(ebpf.MapSpec{Name: "a", Kind: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 4})
 
 	v, ok := m.Lookup(u32key(0))
 	if !ok || len(v) != 8 {
@@ -54,7 +64,7 @@ func TestArrayMap(t *testing.T) {
 }
 
 func TestArrayPointerStability(t *testing.T) {
-	m := MustNew(ebpf.MapSpec{Name: "a", Kind: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+	m := mustNew(ebpf.MapSpec{Name: "a", Kind: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 2})
 	v1, _ := m.Lookup(u32key(1))
 	// Writing through the reference must be visible to later lookups —
 	// this is the bpf_map_lookup_elem pointer semantics programs rely on.
@@ -66,7 +76,7 @@ func TestArrayPointerStability(t *testing.T) {
 }
 
 func TestHashMap(t *testing.T) {
-	m := MustNew(ebpf.MapSpec{Name: "h", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+	m := mustNew(ebpf.MapSpec{Name: "h", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 2})
 	if _, ok := m.Lookup(u32key(1)); ok {
 		t.Error("Lookup on empty hash succeeded")
 	}
@@ -104,7 +114,7 @@ func TestHashMap(t *testing.T) {
 }
 
 func TestHashPointerStability(t *testing.T) {
-	m := MustNew(ebpf.MapSpec{Name: "h", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 8})
+	m := mustNew(ebpf.MapSpec{Name: "h", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 8})
 	if err := m.Update(u32key(1), u64val(1), UpdateAny); err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +129,7 @@ func TestHashPointerStability(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	m := MustNew(ebpf.MapSpec{Name: "lru", Kind: ebpf.MapLRUHash, KeySize: 4, ValueSize: 8, MaxEntries: 2})
+	m := mustNew(ebpf.MapSpec{Name: "lru", Kind: ebpf.MapLRUHash, KeySize: 4, ValueSize: 8, MaxEntries: 2})
 	check := func(err error) {
 		t.Helper()
 		if err != nil {
@@ -150,7 +160,7 @@ func lpmKey(prefixLen int, addr [4]byte) []byte {
 }
 
 func TestLPMTrie(t *testing.T) {
-	m := MustNew(ebpf.MapSpec{Name: "r", Kind: ebpf.MapLPMTrie, KeySize: 8, ValueSize: 4, MaxEntries: 16})
+	m := mustNew(ebpf.MapSpec{Name: "r", Kind: ebpf.MapLPMTrie, KeySize: 8, ValueSize: 4, MaxEntries: 16})
 	check := func(err error) {
 		t.Helper()
 		if err != nil {
@@ -225,7 +235,7 @@ func TestSet(t *testing.T) {
 }
 
 func TestSynchronized(t *testing.T) {
-	m := Synchronize(MustNew(ebpf.MapSpec{Name: "s", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}))
+	m := Synchronize(mustNew(ebpf.MapSpec{Name: "s", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 8}))
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -254,7 +264,7 @@ func TestSynchronized(t *testing.T) {
 func TestPropertyHashAgainstModel(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		m := MustNew(ebpf.MapSpec{Name: "h", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 1 << 20})
+		m := mustNew(ebpf.MapSpec{Name: "h", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 1 << 20})
 		model := map[uint32][]byte{}
 		for i := 0; i < 300; i++ {
 			k := uint32(r.Intn(32))
@@ -308,7 +318,7 @@ func TestPropertyLPMAgainstLinearScan(t *testing.T) {
 	}
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		m := MustNew(ebpf.MapSpec{Name: "t", Kind: ebpf.MapLPMTrie, KeySize: 8, ValueSize: 4, MaxEntries: 256})
+		m := mustNew(ebpf.MapSpec{Name: "t", Kind: ebpf.MapLPMTrie, KeySize: 8, ValueSize: 4, MaxEntries: 256})
 		var entries []entry
 		for i := 0; i < 24; i++ {
 			e := entry{plen: r.Intn(33), val: uint32(i + 1)}

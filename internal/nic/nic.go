@@ -10,6 +10,7 @@ import (
 
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
+	"ehdl/internal/faults"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/maps"
 )
@@ -25,6 +26,11 @@ type ShellConfig struct {
 	// packet's forwarding latency. 0 means 160 (~640 ns at 250 MHz),
 	// which lands end-to-end latency near the paper's microsecond.
 	FIFOCycles int
+	// Faults configures the shell's fault-injection campaign: when any
+	// rate is non-zero the shell builds one seeded injector, hands it to
+	// the pipeline simulator (SEU flips, flush storms) and uses it itself
+	// to damage generated frames and to fire ingress overflow bursts.
+	Faults faults.Config
 	// Hazard policy and other simulator knobs.
 	Sim hwsim.Config
 }
@@ -55,16 +61,27 @@ type Shell struct {
 	cfg ShellConfig
 	sim *hwsim.Sim
 	pl  *core.Pipeline
+	inj *faults.Injector
 }
 
 // New builds a shell around a compiled pipeline with fresh maps.
 func New(pl *core.Pipeline, cfg ShellConfig) (*Shell, error) {
 	cfg.Sim.ClockHz = cfg.clockHz()
+	var inj *faults.Injector
+	if cfg.Faults.Enabled() {
+		inj = faults.New(cfg.Faults)
+		cfg.Sim.Faults = inj
+	} else if cfg.Sim.Faults != nil {
+		// A pre-built injector passed through the simulator config is
+		// shared, so shell-side classes (malformed traffic, overflow
+		// bursts) stay on the same seeded stream.
+		inj = cfg.Sim.Faults
+	}
 	sim, err := hwsim.New(pl, cfg.Sim)
 	if err != nil {
 		return nil, err
 	}
-	return &Shell{cfg: cfg, sim: sim, pl: pl}, nil
+	return &Shell{cfg: cfg, sim: sim, pl: pl, inj: inj}, nil
 }
 
 // Maps exposes the host-side map interface of the NIC.
@@ -72,6 +89,9 @@ func (sh *Shell) Maps() *maps.Set { return sh.sim.Maps() }
 
 // Sim exposes the underlying simulator (for clock pinning in tests).
 func (sh *Shell) Sim() *hwsim.Sim { return sh.sim }
+
+// Injector exposes the shell's fault injector (nil without faults).
+func (sh *Shell) Injector() *faults.Injector { return sh.inj }
 
 // Report is the traffic-generator view of a run, the measurements of
 // Section 5.1.
@@ -91,6 +111,24 @@ type Report struct {
 	FlushesPerS  float64
 	Actions      map[ebpf.XDPAction]uint64
 	Cycles       uint64
+
+	// Resilience measurements (all zero without a fault campaign).
+
+	// FaultsInjected counts faults applied inside the pipeline (SEU
+	// flips, forced flush storms).
+	FaultsInjected uint64
+	// MalformedSent counts generated frames replaced by damaged ones.
+	MalformedSent uint64
+	// MalformedDropped counts verdicts forced by the hardware bounds
+	// check on packet accesses past the frame end.
+	MalformedDropped uint64
+	// QueueOverflows counts ingress overflow episodes (a burst hitting
+	// the full queue is one episode, not one count per lost frame).
+	QueueOverflows uint64
+	// OverflowBursts counts injected ingress bursts.
+	OverflowBursts uint64
+	// WatchdogTrips counts livelock-watchdog firings.
+	WatchdogTrips uint64
 }
 
 // LineRateMpps returns the port's packet rate for a frame size.
@@ -119,6 +157,12 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 	)
 	rep.Actions = map[ebpf.XDPAction]uint64{}
 
+	var startFaults faults.Counters
+	if sh.inj != nil {
+		startFaults = sh.inj.Counters()
+		next = sh.inj.WrapTraffic(next)
+	}
+
 	sh.sim.OnComplete(func(r hwsim.Result) {
 		rep.Received++
 		rep.Actions[r.Action]++
@@ -130,6 +174,7 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 	})
 	defer sh.sim.OnComplete(nil)
 
+	extra := 0
 	for sent < count || sh.sim.Busy() {
 		// Arrivals faster than the clock queue several packets per cycle.
 		for sent < count && due <= 0 {
@@ -141,6 +186,21 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 			sent++
 			due += cyclesPerPacket
 		}
+		if sh.inj != nil && sent < count && sh.inj.Roll(faults.QueueOverflow) {
+			// Ingress overflow burst: a full burst of frames lands in this
+			// cycle on top of the paced load. The bounded input queue
+			// absorbs what it can and drops the rest — counted, never an
+			// error.
+			for i := 0; i < sh.inj.BurstLen(); i++ {
+				pkt := next()
+				bytesIn += uint64(len(pkt))
+				if sh.sim.Inject(pkt) {
+					bytesOut += uint64(len(pkt))
+				}
+				extra++
+			}
+			sh.inj.Note(faults.QueueOverflow)
+		}
 		if err := sh.sim.Step(); err != nil {
 			return rep, err
 		}
@@ -149,9 +209,18 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 
 	end := sh.sim.Stats()
 	rep.Cycles = end.Cycles - startStat.Cycles
-	rep.Sent = uint64(sent)
+	rep.Sent = uint64(sent + extra)
 	rep.Lost = end.QueueDrops - startStat.QueueDrops
 	rep.Flushes = end.Flushes - startStat.Flushes
+	rep.FaultsInjected = end.FaultsInjected - startStat.FaultsInjected
+	rep.MalformedDropped = end.MalformedDropped - startStat.MalformedDropped
+	rep.QueueOverflows = end.QueueOverflows - startStat.QueueOverflows
+	rep.WatchdogTrips = end.WatchdogTrips - startStat.WatchdogTrips
+	if sh.inj != nil {
+		endFaults := sh.inj.Counters()
+		rep.MalformedSent = endFaults.ByClass[faults.MalformedTraffic] - startFaults.ByClass[faults.MalformedTraffic]
+		rep.OverflowBursts = endFaults.ByClass[faults.QueueOverflow] - startFaults.ByClass[faults.QueueOverflow]
+	}
 	seconds := float64(rep.Cycles) / clock
 	if seconds > 0 {
 		rep.AchievedMpps = float64(rep.Received) / seconds / 1e6

@@ -12,7 +12,11 @@ import (
 
 func newShell(t *testing.T, app *apps.App, opts core.Options, cfg ShellConfig) *Shell {
 	t.Helper()
-	pl, err := core.Compile(app.MustProgram(), opts)
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.Compile(prog, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
