@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short vet race chaos bench check
+.PHONY: all build test short vet race chaos bench check cover ci
 
 all: build test
 
@@ -21,9 +21,22 @@ race:
 	$(GO) test -race ./...
 
 # Full fault-injection campaign: every app under every fault class,
-# intensity sweep included (the tests that testing.Short skips).
+# intensity sweep included (the tests that testing.Short skips), plus
+# the SEU-heal recovery suite.
 chaos:
-	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience' ./internal/...
+	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience|Recovery|Protect' ./internal/...
+
+# Coverage gate for the self-healing subsystem: the protection codecs
+# and the simulator that hosts the recovery machinery must stay above
+# their floors (protect 90%, hwsim 75%).
+cover:
+	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ | tee /tmp/ehdl-cover.txt
+	@awk '/internal\/protect/ { split($$5, a, "%"); if (a[1]+0 < 90) { print "FAIL: internal/protect coverage " a[1] "% < 90%"; exit 1 } } \
+	      /internal\/hwsim/   { split($$5, a, "%"); if (a[1]+0 < 75) { print "FAIL: internal/hwsim coverage " a[1] "% < 75%"; exit 1 } }' /tmp/ehdl-cover.txt
+	@echo "coverage gates passed"
+
+# The full gate a PR must clear.
+ci: vet build test race chaos cover
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

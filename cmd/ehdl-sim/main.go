@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"ehdl/internal/hwsim"
 	"ehdl/internal/nic"
 	"ehdl/internal/pktgen"
+	"ehdl/internal/protect"
 )
 
 func main() {
@@ -35,6 +37,9 @@ func main() {
 		intensity = flag.Float64("faults", 0, "fault-injection intensity in (0,1]: SEUs, malformed frames, overflow bursts, flush storms")
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault campaign (same seed: same fault sites)")
 		watchdog  = flag.Int("watchdog", 0, "livelock watchdog threshold in cycles (0: disabled)")
+		protLevel = flag.String("protect", "none", "map-memory protection: none|parity|ecc (non-none also arms scrubbing and drain-and-restart recovery)")
+		scrubEach = flag.Int("scrub-interval", 0, "scrubber budget in cycles per checked word (0: default 8)")
+		maxRecov  = flag.Int("max-recoveries", 0, "drain-and-restart budget between clean scrub passes (0: default 8, negative: unbounded)")
 	)
 	flag.Parse()
 
@@ -59,6 +64,13 @@ func main() {
 		cfg.Faults = faults.Profile(*intensity, *faultSeed)
 	}
 	cfg.Sim.WatchdogCycles = *watchdog
+	level, err := protect.ParseLevel(*protLevel)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Sim.Protection = level
+	cfg.Sim.ScrubCyclesPerWord = *scrubEach
+	cfg.Sim.MaxRecoveries = *maxRecov
 	sh, err := nic.New(pl, cfg)
 	if err != nil {
 		fatal(err)
@@ -101,6 +113,14 @@ func main() {
 	fmt.Printf("running %s: %d stages, %d packets at %.1f Mpps offered\n",
 		app.Name, pl.NumStages(), *packets, offered/1e6)
 	rep, err := sh.RunLoad(next, *packets, offered)
+	if errors.Is(err, hwsim.ErrRecoveryExhausted) {
+		// The typed give-up of the recovery subsystem: the store kept
+		// corrupting faster than drain-and-restart could heal it. A
+		// distinct exit status lets campaign scripts tell "pipeline
+		// declared unrecoverable" from configuration errors.
+		fmt.Fprintf(os.Stderr, "unrecoverable: %v\n", err)
+		os.Exit(2)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -117,6 +137,12 @@ func main() {
 			rep.FaultsInjected, rep.MalformedSent, rep.MalformedDropped)
 		fmt.Printf("             overflow bursts %d (episodes %d), watchdog trips %d\n",
 			rep.OverflowBursts, rep.QueueOverflows, rep.WatchdogTrips)
+	}
+	if level != protect.LevelNone {
+		fmt.Printf("  protect:   %s, %d words corrected, %d uncorrectable\n",
+			level, rep.CorrectedWords, rep.UncorrectableWords)
+		fmt.Printf("             scrub passes %d, checkpoints %d, recoveries %d (%d frames drained, %d backoff cycles)\n",
+			rep.ScrubPasses, rep.CheckpointsTaken, rep.Recoveries, rep.RecoveryAborted, rep.RecoveryBackoffCycles)
 	}
 	fmt.Printf("  verdicts:\n")
 	for action := ebpf.XDPAborted; action <= ebpf.XDPRedirect; action++ {

@@ -294,6 +294,35 @@ func TestResilienceShape(t *testing.T) {
 	}
 }
 
+func TestProtectionAblationShape(t *testing.T) {
+	tab := run(t, "protection")
+	if len(tab.Rows)%3 != 0 || len(tab.Rows) == 0 {
+		t.Fatalf("rows = %d, want three levels per app", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 3 {
+		name := tab.Rows[i][0]
+		if tab.Rows[i][1] != "none" || tab.Rows[i+1][1] != "parity" || tab.Rows[i+2][1] != "ecc" {
+			t.Fatalf("%s: level order %q/%q/%q, want none/parity/ecc",
+				name, tab.Rows[i][1], tab.Rows[i+1][1], tab.Rows[i+2][1])
+		}
+		if got := cellF(t, tab, i, "Premium pts"); got != 0 {
+			t.Errorf("%s: unprotected premium %.2f, want 0", name, got)
+		}
+		parity := cellF(t, tab, i+1, "Premium pts")
+		ecc := cellF(t, tab, i+2, "Premium pts")
+		// ECC never undercuts parity; the two can tie when a small map's
+		// check bits fit one BRAM block either way.
+		if parity <= 0 || ecc < parity {
+			t.Errorf("%s: premium ordering broken: parity %.2f, ecc %.2f", name, parity, ecc)
+		}
+		// The stated bound of the ablation: full ECC protection costs at
+		// most 2 utilisation points on top of the unprotected design.
+		if ecc > 2.0 {
+			t.Errorf("%s: ECC premium %.2f points exceeds the stated 2-point bound", name, ecc)
+		}
+	}
+}
+
 func TestLoadBalancerDemo(t *testing.T) {
 	tab := run(t, "lb")
 	if len(tab.Rows) != 4 {

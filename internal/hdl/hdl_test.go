@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"ehdl/internal/apps"
+	"ehdl/internal/asm"
 	"ehdl/internal/core"
+	"ehdl/internal/protect"
 )
 
 func compileApp(t *testing.T, name string, opts core.Options) *core.Pipeline {
@@ -237,5 +239,53 @@ func TestTestbenchFrameHexWidth(t *testing.T) {
 	}
 	if !strings.HasSuffix(lit, "bbaa") {
 		t.Errorf("low lanes = ...%s, want ...bbaa", lit[len(lit)-4:])
+	}
+}
+
+func TestProtectionCostShape(t *testing.T) {
+	// The protection-vs-resources contract: none is free, parity is
+	// cheaper than ECC, and the full ECC + scrub + checkpoint premium
+	// stays a small fraction of the design — within 2 percentage points
+	// of device utilisation on top of the paper's 6.5%-13.3% band.
+	dev := AlveoU50()
+	for _, app := range apps.All() {
+		pl := compileApp(t, app.Name, core.Options{})
+		none := EstimateProtection(pl, protect.LevelNone)
+		parity := EstimateProtection(pl, protect.LevelParity)
+		ecc := EstimateProtection(pl, protect.LevelECC)
+		if none != (Resources{}) {
+			t.Errorf("%s: LevelNone costs %+v, want zero", app.Name, none)
+		}
+		if parity.LUTs <= 0 || ecc.LUTs <= parity.LUTs {
+			t.Errorf("%s: cost ordering broken: parity %+v, ecc %+v", app.Name, parity, ecc)
+		}
+		if ecc.BRAM36 < parity.BRAM36 {
+			t.Errorf("%s: ECC stores fewer check bits than parity: %+v vs %+v", app.Name, ecc, parity)
+		}
+		base := EstimateDesign(pl).PercentOf(dev).Max()
+		prot := EstimateDesignProtected(pl, protect.LevelECC).PercentOf(dev).Max()
+		premium := prot - base
+		if premium <= 0 {
+			t.Errorf("%s: ECC premium %.3f points, want positive", app.Name, premium)
+		}
+		if premium > 2.0 {
+			t.Errorf("%s: ECC premium %.2f utilisation points exceeds the 2-point bound", app.Name, premium)
+		}
+	}
+}
+
+func TestProtectionCostlessWithoutMaps(t *testing.T) {
+	// A pipeline with no maps has nothing to protect: no scrubber, no
+	// checkpoint controller, no check bits.
+	prog, err := asm.Assemble("nomap", "r0 = 2\nexit\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.Compile(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := EstimateProtection(pl, protect.LevelECC); got != (Resources{}) {
+		t.Errorf("map-less pipeline prices protection at %+v", got)
 	}
 }

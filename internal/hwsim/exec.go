@@ -168,6 +168,13 @@ func (s *Sim) execOp(j *job, op *core.Op, t int) error {
 		if err != nil {
 			return err
 		}
+		if op.Access != nil && op.Access.Area == ddg.AreaMap {
+			// The BRAM read port decodes (and corrects) the looked-up
+			// entry before the load observes it.
+			if err := s.checkMapRead(j, op.MapID); err != nil {
+				return err
+			}
+		}
 		v, err := s.exec.Mem.LoadAt(st, addr, op.Ins.MemSize().Bytes())
 		if err != nil {
 			return s.memFault(j, op, err)
@@ -196,12 +203,19 @@ func (s *Sim) execOp(j *job, op *core.Op, t int) error {
 			s.debug(fmt.Sprintf("cycle %d: seq %d stage %d %s (map store/atomic)", s.cycle, j.seq, t, op.Ins))
 		}
 		if isMap {
+			// Stores and atomics are read-modify-write at word
+			// granularity: the ECC word must decode cleanly before the
+			// partial overwrite, and the write port re-encodes after.
+			if err := s.checkMapRead(j, op.MapID); err != nil {
+				return err
+			}
 			s.preWriteShadow(op.MapID, j)
 		}
 		if err := s.exec.Mem.StoreAt(st, op.Ins, addr); err != nil {
 			return s.memFault(j, op, err)
 		}
 		if isMap {
+			s.reencodeMapWrite(j, op.MapID)
 			j.commits++
 			isAtomicPrimitive := op.Kind == core.OpAtomic && !s.pl.Options.DisableAtomics
 			if !isAtomicPrimitive {

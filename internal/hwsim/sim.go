@@ -12,12 +12,14 @@
 package hwsim
 
 import (
+	"errors"
 	"fmt"
 
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
 	"ehdl/internal/faults"
 	"ehdl/internal/maps"
+	"ehdl/internal/protect"
 	"ehdl/internal/vm"
 )
 
@@ -64,8 +66,24 @@ type Config struct {
 	// WatchdogCycles trips a LivelockError when no packet retires for
 	// this many cycles while work remains in flight — the hardware
 	// watchdog against stall-policy and flush-reload livelock. 0
-	// disables the watchdog.
+	// disables the watchdog. With Protection enabled a trip triggers a
+	// drain-and-restart recovery instead of ending the simulation.
 	WatchdogCycles int
+
+	// Protection selects the map-memory codec (none, parity, ECC). Any
+	// level other than none also arms the background scrubber and the
+	// checkpointed drain-and-restart recovery sequence.
+	Protection protect.Level
+	// ScrubCyclesPerWord is the scrubber budget: one protected word is
+	// checked every this many clock cycles. 0 means 8.
+	ScrubCyclesPerWord int
+	// MaxRecoveries bounds drain-and-restart attempts between clean
+	// scrub passes; exceeding it ends the run with a RecoveryError. 0
+	// means 8; negative means unbounded.
+	MaxRecoveries int
+	// RecoveryBackoffCycles is the base of the exponential input-hold
+	// schedule after a recovery (base << attempt-1). 0 means 256.
+	RecoveryBackoffCycles int
 }
 
 func (c Config) clockHz() float64 {
@@ -94,6 +112,23 @@ func (c Config) queueDepth() int {
 		return 4096
 	}
 	return c.InputQueuePackets
+}
+
+func (c Config) scrubCyclesPerWord() int {
+	if c.ScrubCyclesPerWord <= 0 {
+		return 8
+	}
+	return c.ScrubCyclesPerWord
+}
+
+func (c Config) maxRecoveries() int {
+	switch {
+	case c.MaxRecoveries == 0:
+		return 8
+	case c.MaxRecoveries < 0:
+		return 0 // unbounded
+	}
+	return c.MaxRecoveries
 }
 
 // Result reports one packet's trip through the pipeline.
@@ -134,6 +169,30 @@ type Stats struct {
 	// AbortedFaults counts packets retired as XDP_ABORTED because
 	// injected faults made their state unexecutable.
 	AbortedFaults uint64
+
+	// Protection and recovery counters (all zero at LevelNone).
+
+	// WordsChecked counts protected-word syndrome decodes (lookup path
+	// and scrubber combined).
+	WordsChecked uint64
+	// CorrectedWords counts single-bit upsets corrected in place.
+	CorrectedWords uint64
+	// UncorrectableWords counts detected errors beyond the codec's
+	// correction capability (each one triggers a recovery).
+	UncorrectableWords uint64
+	// ScrubWords and ScrubPasses count background-scrubber progress.
+	ScrubWords  uint64
+	ScrubPasses uint64
+	// CheckpointsTaken counts known-good map snapshots recorded.
+	CheckpointsTaken uint64
+	// Recoveries counts drain-and-restart sequences performed.
+	Recoveries uint64
+	// RecoveryAborted counts in-flight packets drained as XDP_ABORTED
+	// by recoveries (a subset of Actions[XDPAborted]).
+	RecoveryAborted uint64
+	// RecoveryBackoffCycles accumulates the input-hold time charged by
+	// the exponential backoff schedule.
+	RecoveryBackoffCycles uint64
 }
 
 // Mpps converts the completed-packet count to millions of packets per
@@ -269,6 +328,17 @@ type Sim struct {
 
 	mapBlockOf map[int]*core.MapBlock
 
+	// Protection and recovery state: the per-map codec wrappers
+	// (indexed by mapID), the background scrubber, the last known-good
+	// checkpoint, and the bounded-retry bookkeeping. recoveryHold gates
+	// the input while the post-recovery backoff elapses.
+	protected            []*maps.Protected
+	scrubber             *protect.Scrubber
+	checkpoint           *maps.SetSnapshot
+	recoveryAttempts     int
+	recoveryHold         uint64
+	handledUncorrectable uint64
+
 	stats      Stats
 	onComplete func(Result)
 	keepData   bool
@@ -320,6 +390,7 @@ func NewWithEnv(pl *core.Pipeline, cfg Config, env *vm.Env) (*Sim, error) {
 		}
 	}
 	s.stats.Actions = map[ebpf.XDPAction]uint64{}
+	s.initProtection()
 	return s, nil
 }
 
@@ -327,7 +398,10 @@ func NewWithEnv(pl *core.Pipeline, cfg Config, env *vm.Env) (*Sim, error) {
 func (s *Sim) Maps() *maps.Set { return s.env.Maps }
 
 // Stats returns a copy of the counters so far.
-func (s *Sim) Stats() Stats { return s.stats }
+func (s *Sim) Stats() Stats {
+	s.syncProtectionStats()
+	return s.stats
+}
 
 // Cycle returns the current clock cycle.
 func (s *Sim) Cycle() uint64 { return s.cycle }
@@ -413,8 +487,14 @@ func (s *Sim) RunToCompletion(maxCycles uint64) error {
 func (s *Sim) Step() error {
 	s.cycle++
 	s.stats.Cycles++
+	if s.recoveryEnabled() && s.checkpoint == nil {
+		// Initial checkpoint, taken lazily on the first cycle so it
+		// captures the host's setup-time map population but no faults.
+		s.takeCheckpoint()
+	}
 	s.expireShadows()
 	s.applyFaults()
+	s.tickScrubber()
 
 	last := len(s.stages) - 1
 
@@ -458,10 +538,11 @@ func (s *Sim) Step() error {
 		j.stage = t
 		j.execStage = t
 		if err := s.execStage(j, t); err != nil {
-			if s.cfg.Faults != nil {
+			if s.cfg.Faults != nil || errors.Is(err, errUncorrectableAccess) {
 				// Degraded execution: the hardware has no error channel,
 				// so a packet whose fault-corrupted state makes an op
-				// unexecutable latches XDP_ABORTED and keeps flowing.
+				// unexecutable — or whose map entry decoded as
+				// uncorrectable — latches XDP_ABORTED and keeps flowing.
 				j.done = true
 				j.action = ebpf.XDPAborted
 				s.stats.AbortedFaults++
@@ -473,7 +554,15 @@ func (s *Sim) Step() error {
 	if s.strictErr != nil {
 		return s.strictErr
 	}
+	if err := s.maybeRecover(); err != nil {
+		return err
+	}
 	if err := s.checkWatchdog(); err != nil {
+		if s.recoveryEnabled() && errors.Is(err, ErrLivelock) {
+			// The watchdog's reset line feeds the same drain-and-restart
+			// sequence an uncorrectable word does.
+			return s.recoverNow(err.Error())
+		}
 		return err
 	}
 	return nil
@@ -511,6 +600,11 @@ func (s *Sim) serviceStall() {
 // injectFromQueue moves the next queued packet into stage 0, honouring
 // multi-frame pacing: an F-frame packet occupies the input for F cycles.
 func (s *Sim) injectFromQueue() {
+	if s.cycle < s.recoveryHold {
+		// Post-recovery backoff: the input holds in reset while the
+		// scrubber gets a chance to prove the store healthy again.
+		return
+	}
 	if s.injectGap > 0 {
 		s.injectGap--
 		return

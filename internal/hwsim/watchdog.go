@@ -56,6 +56,12 @@ func (s *Sim) checkWatchdog() error {
 		s.lastRetire = s.cycle
 		return nil
 	}
+	if s.cycle < s.recoveryHold {
+		// A post-recovery backoff hold is intentional quiescence, not a
+		// livelock: the retirement clock restarts when the input does.
+		s.lastRetire = s.cycle
+		return nil
+	}
 	if s.cycle-s.lastRetire <= uint64(s.cfg.WatchdogCycles) {
 		return nil
 	}

@@ -161,11 +161,31 @@ func (s *Synchronized) Delete(key []byte) error {
 	return s.m.Delete(key)
 }
 
-// Iterate implements Map, holding the lock for the whole walk.
+// Iterate implements Map. Unlike the raw maps, the visited slices are
+// private snapshots, not aliases of map storage: the walk copies every
+// entry under the lock and invokes fn only after releasing it, so fn
+// may re-enter the same Synchronized map (Lookup, Update, Delete,
+// another Iterate) without deadlocking on the non-reentrant mutex.
+// Mutations made by fn are consequently not visible through the slices
+// it was handed, and entries updated concurrently after the snapshot
+// may be visited with their pre-snapshot values.
 func (s *Synchronized) Iterate(fn func(key, value []byte) bool) {
+	type entry struct{ key, value []byte }
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m.Iterate(fn)
+	var snap []entry
+	s.m.Iterate(func(key, value []byte) bool {
+		snap = append(snap, entry{
+			key:   append([]byte(nil), key...),
+			value: append([]byte(nil), value...),
+		})
+		return true
+	})
+	s.mu.Unlock()
+	for _, e := range snap {
+		if !fn(e.key, e.value) {
+			return
+		}
+	}
 }
 
 // Len implements Map.

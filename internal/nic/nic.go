@@ -129,6 +129,27 @@ type Report struct {
 	OverflowBursts uint64
 	// WatchdogTrips counts livelock-watchdog firings.
 	WatchdogTrips uint64
+
+	// Protection and recovery measurements (all zero without a
+	// protection level configured in Sim.Protection).
+
+	// CorrectedWords counts single-bit map-word upsets corrected in
+	// place by the ECC read port or the scrubber.
+	CorrectedWords uint64
+	// UncorrectableWords counts detected-but-uncorrectable words; each
+	// one triggered a drain-and-restart recovery.
+	UncorrectableWords uint64
+	// ScrubPasses counts completed background-scrubber sweeps.
+	ScrubPasses uint64
+	// CheckpointsTaken counts known-good map snapshots recorded.
+	CheckpointsTaken uint64
+	// Recoveries counts drain-and-restart sequences performed.
+	Recoveries uint64
+	// RecoveryAborted counts in-flight frames drained as XDP_ABORTED by
+	// recoveries.
+	RecoveryAborted uint64
+	// RecoveryBackoffCycles accumulates post-recovery input-hold time.
+	RecoveryBackoffCycles uint64
 }
 
 // LineRateMpps returns the port's packet rate for a frame size.
@@ -216,6 +237,13 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 	rep.MalformedDropped = end.MalformedDropped - startStat.MalformedDropped
 	rep.QueueOverflows = end.QueueOverflows - startStat.QueueOverflows
 	rep.WatchdogTrips = end.WatchdogTrips - startStat.WatchdogTrips
+	rep.CorrectedWords = end.CorrectedWords - startStat.CorrectedWords
+	rep.UncorrectableWords = end.UncorrectableWords - startStat.UncorrectableWords
+	rep.ScrubPasses = end.ScrubPasses - startStat.ScrubPasses
+	rep.CheckpointsTaken = end.CheckpointsTaken - startStat.CheckpointsTaken
+	rep.Recoveries = end.Recoveries - startStat.Recoveries
+	rep.RecoveryAborted = end.RecoveryAborted - startStat.RecoveryAborted
+	rep.RecoveryBackoffCycles = end.RecoveryBackoffCycles - startStat.RecoveryBackoffCycles
 	if sh.inj != nil {
 		endFaults := sh.inj.Counters()
 		rep.MalformedSent = endFaults.ByClass[faults.MalformedTraffic] - startFaults.ByClass[faults.MalformedTraffic]

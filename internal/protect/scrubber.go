@@ -1,0 +1,87 @@
+package protect
+
+// Scrubbable is one protected memory the scrubber sweeps word by word.
+// internal/maps.Protected implements it; the interface lives here so
+// the dependency points from maps to protect only.
+type Scrubbable interface {
+	// ScrubWord checks (and, when the codec allows, corrects) the next
+	// word under an internal cursor, returning the outcome and whether
+	// the cursor wrapped past the end of the store — i.e. this call
+	// finished a full pass. An empty store wraps immediately with
+	// WordOK.
+	ScrubWord() (st WordStatus, wrapped bool)
+}
+
+// ScrubStats aggregates a scrubber's work.
+type ScrubStats struct {
+	// Words counts words checked by the scrubber (a subset of the
+	// store's own Checked counter, which also sees the lookup path).
+	Words uint64
+	// Passes counts completed sweeps over every store.
+	Passes uint64
+	// Corrected and Uncorrectable count scrub-path outcomes.
+	Corrected     uint64
+	Uncorrectable uint64
+}
+
+// Scrubber walks a list of protected stores at a budgeted rate of one
+// word every CyclesPerWord clock ticks — the model of the FPGA scrubber
+// FSM that steals idle BRAM port cycles. Scheduling is a pure function
+// of the tick count, so a protected simulation stays bit-reproducible.
+type Scrubber struct {
+	stores  []Scrubbable
+	cycles  int // budget: cycles per scrubbed word
+	credit  int
+	idx     int // store currently under the cursor
+	stats   ScrubStats
+	cleanly bool // no uncorrectable outcome since the pass began
+}
+
+// NewScrubber builds a scrubber over the stores. cyclesPerWord <= 0
+// defaults to 8 (one word per eight clock ticks).
+func NewScrubber(cyclesPerWord int, stores ...Scrubbable) *Scrubber {
+	if cyclesPerWord <= 0 {
+		cyclesPerWord = 8
+	}
+	return &Scrubber{stores: stores, cycles: cyclesPerWord, cleanly: true}
+}
+
+// Stats returns a snapshot of the scrub counters.
+func (s *Scrubber) Stats() ScrubStats { return s.stats }
+
+// Tick advances the scrubber by one clock cycle. It returns (passDone,
+// passClean): passDone is true on the tick that completes a sweep over
+// every store, and passClean reports whether that whole pass saw no
+// uncorrectable word — the condition under which the pipeline may take
+// a new known-good checkpoint.
+func (s *Scrubber) Tick() (passDone, passClean bool) {
+	if len(s.stores) == 0 {
+		return false, false
+	}
+	s.credit++
+	if s.credit < s.cycles {
+		return false, false
+	}
+	s.credit = 0
+	st, wrapped := s.stores[s.idx].ScrubWord()
+	s.stats.Words++
+	switch st {
+	case WordCorrected:
+		s.stats.Corrected++
+	case WordUncorrectable:
+		s.stats.Uncorrectable++
+		s.cleanly = false
+	}
+	if !wrapped {
+		return false, false
+	}
+	s.idx++
+	if s.idx < len(s.stores) {
+		return false, false
+	}
+	s.idx = 0
+	s.stats.Passes++
+	clean := s.cleanly
+	s.cleanly = true
+	return true, clean
+}
