@@ -1,14 +1,18 @@
 GO ?= go
 
-.PHONY: all build test short vet race chaos bench check cover ci
+.PHONY: all build test short vet race chaos bench check cover ci trace
 
 all: build test
 
 build:
 	$(GO) build ./...
 
+# The conformance suite and the observability layer rerun under the race
+# detector even in the default gate: the tracer and registry are the two
+# pieces most likely to grow cross-goroutine users.
 test:
 	$(GO) test ./...
+	$(GO) test -race ./internal/conformance/ ./internal/obs/
 
 # Quick slice: skips the chaos campaign sweep and long fuzz runs.
 short:
@@ -26,13 +30,15 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience|Recovery|Protect' ./internal/...
 
-# Coverage gate for the self-healing subsystem: the protection codecs
-# and the simulator that hosts the recovery machinery must stay above
-# their floors (protect 90%, hwsim 75%).
+# Coverage gate for the self-healing subsystem and the observability
+# layer: the protection codecs, the simulator that hosts the recovery
+# machinery, and the tracer/metrics/profiling package must stay above
+# their floors (protect 90%, hwsim 75%, obs 85%).
 cover:
-	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ | tee /tmp/ehdl-cover.txt
+	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ | tee /tmp/ehdl-cover.txt
 	@awk '/internal\/protect/ { split($$5, a, "%"); if (a[1]+0 < 90) { print "FAIL: internal/protect coverage " a[1] "% < 90%"; exit 1 } } \
-	      /internal\/hwsim/   { split($$5, a, "%"); if (a[1]+0 < 75) { print "FAIL: internal/hwsim coverage " a[1] "% < 75%"; exit 1 } }' /tmp/ehdl-cover.txt
+	      /internal\/hwsim/   { split($$5, a, "%"); if (a[1]+0 < 75) { print "FAIL: internal/hwsim coverage " a[1] "% < 75%"; exit 1 } } \
+	      /internal\/obs/     { split($$5, a, "%"); if (a[1]+0 < 85) { print "FAIL: internal/obs coverage " a[1] "% < 85%"; exit 1 } }' /tmp/ehdl-cover.txt
 	@echo "coverage gates passed"
 
 # The full gate a PR must clear.
@@ -40,5 +46,11 @@ ci: vet build test race chaos cover
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Observability demo: a traced, metered firewall run. Leaves the
+# cycle-level event stream in /tmp/ehdl-trace.jsonl.
+trace:
+	$(GO) run ./cmd/ehdl-sim -app firewall -packets 2000 -trace /tmp/ehdl-trace.jsonl -metrics
+	@echo "trace written to /tmp/ehdl-trace.jsonl"
 
 check: vet build test race

@@ -5,8 +5,10 @@
 // Usage:
 //
 //	ehdl-sim -app firewall -packets 20000 -rate 148.8
-//	ehdl-sim -app leakybucket -trace caida
+//	ehdl-sim -app leakybucket -replay caida
 //	ehdl-sim -app dnat -flows 8 -policy stall
+//	ehdl-sim -app firewall -trace out.jsonl -metrics
+//	ehdl-sim -app router -cpuprofile cpu.out -pprof localhost:6060
 package main
 
 import (
@@ -21,11 +23,16 @@ import (
 	"ehdl/internal/faults"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/nic"
+	"ehdl/internal/obs"
 	"ehdl/internal/pktgen"
 	"ehdl/internal/protect"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		appName   = flag.String("app", "firewall", "application to run")
 		packets   = flag.Int("packets", 20000, "packets to offer")
@@ -33,27 +40,56 @@ func main() {
 		flows     = flag.Int("flows", 0, "flow count (0: application default)")
 		pktLen    = flag.Int("pktlen", 0, "packet size (0: application default)")
 		policy    = flag.String("policy", "flush", "RAW hazard policy: flush|stall")
-		trace     = flag.String("trace", "", "replay a synthetic trace profile instead: caida|mawi")
+		replay    = flag.String("replay", "", "replay a synthetic trace profile instead: caida|mawi")
 		intensity = flag.Float64("faults", 0, "fault-injection intensity in (0,1]: SEUs, malformed frames, overflow bursts, flush storms")
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault campaign (same seed: same fault sites)")
 		watchdog  = flag.Int("watchdog", 0, "livelock watchdog threshold in cycles (0: disabled)")
 		protLevel = flag.String("protect", "none", "map-memory protection: none|parity|ecc (non-none also arms scrubbing and drain-and-restart recovery)")
 		scrubEach = flag.Int("scrub-interval", 0, "scrubber budget in cycles per checked word (0: default 8)")
 		maxRecov  = flag.Int("max-recoveries", 0, "drain-and-restart budget between clean scrub passes (0: default 8, negative: unbounded)")
+
+		tracePath = flag.String("trace", "", "write the cycle-level event trace to this file (JSONL)")
+		traceText = flag.Bool("trace-text", false, "write the trace in compact text instead of JSONL")
+		metrics   = flag.Bool("metrics", false, "collect the metrics registry and render it after the run")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address for live profiling")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file when the run stops")
+		rtTrace   = flag.String("runtime-trace", "", "write a runtime/trace execution trace to this file")
 	)
 	flag.Parse()
 
+	prof := obs.ProfileConfig{
+		CPUFile:   *cpuProf,
+		MemFile:   *memProf,
+		TraceFile: *rtTrace,
+		HTTPAddr:  *pprofAddr,
+	}
+	if prof.Enabled() {
+		stop, addr, err := obs.StartProfiles(prof)
+		if err != nil {
+			return fail(err)
+		}
+		if addr != "" {
+			fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	app, ok := apps.ByName(*appName)
 	if !ok {
-		fatal(fmt.Errorf("unknown application %q", *appName))
+		return fail(fmt.Errorf("unknown application %q", *appName))
 	}
 	prog, err := app.Program()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	pl, err := core.Compile(prog, core.Options{})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	cfg := nic.ShellConfig{}
@@ -66,22 +102,51 @@ func main() {
 	cfg.Sim.WatchdogCycles = *watchdog
 	level, err := protect.ParseLevel(*protLevel)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cfg.Sim.Protection = level
 	cfg.Sim.ScrubCyclesPerWord = *scrubEach
 	cfg.Sim.MaxRecoveries = *maxRecov
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		cfg.Sim.Metrics = reg
+	}
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		var sink obs.Sink
+		if *traceText {
+			sink = obs.NewTextSink(f)
+		} else {
+			sink = obs.NewJSONLSink(f)
+		}
+		tr = obs.NewTracer(0, sink)
+		cfg.Sim.Trace = tr
+		defer func() {
+			if err := tr.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Printf("\ntrace: %d events written to %s\n", tr.Emitted(), *tracePath)
+		}()
+	}
+
 	sh, err := nic.New(pl, cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if err := app.Setup(sh.Maps()); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	var next func() []byte
 	frameLen := 64
-	switch *trace {
+	switch *replay {
 	case "":
 		tcfg := app.Traffic
 		if *flows > 0 {
@@ -102,7 +167,7 @@ func main() {
 		frameLen = pktgen.MAWIProfile().MeanPacketLen
 		next = tr.Next
 	default:
-		fatal(fmt.Errorf("unknown trace %q", *trace))
+		return fail(fmt.Errorf("unknown replay profile %q", *replay))
 	}
 
 	offered := *rate * 1e6
@@ -119,10 +184,10 @@ func main() {
 		// distinct exit status lets campaign scripts tell "pipeline
 		// declared unrecoverable" from configuration errors.
 		fmt.Fprintf(os.Stderr, "unrecoverable: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	fmt.Printf("\nresults:\n")
@@ -156,9 +221,23 @@ func main() {
 		m, _ := sh.Maps().ByID(id)
 		fmt.Printf("  %-10s %d entries\n", m.Spec().Name, m.Len())
 	}
+
+	if reg != nil {
+		fmt.Printf("\nobservability:\n")
+		fmt.Printf("  occupancy: %.2f frames/cycle mean\n", rep.MeanStageOccupancy)
+		fmt.Printf("  latency:   p99 %d cycles\n", rep.P99LatencyCycles)
+		fmt.Printf("  flushes:   %.1f penalty cycles mean\n", rep.FlushPenaltyMean)
+		fmt.Printf("  map ports: %d ops\n", rep.MapPortOps)
+		fmt.Printf("  backpress: %d cycles\n", rep.BackpressureCycles)
+		fmt.Printf("\nmetrics registry:\n")
+		if err := reg.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
+	}
+	return 0
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return 1
 }

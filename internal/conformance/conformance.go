@@ -1,0 +1,220 @@
+// Package conformance is the differential vm <-> hwsim test surface:
+// every evaluation application runs the same seeded traffic through the
+// reference interpreter (internal/vm) and the cycle-accurate pipeline
+// simulator (internal/hwsim), and the two must agree bit for bit on
+// verdicts, packet bytes and final map state.
+//
+// The architectural contract that makes this possible: both engines
+// share the instruction semantics (vm.ExecALU and friends), the map
+// substrate (internal/maps) and the helper surface, and both pin the
+// helper-visible clock to zero here, so a divergence is always a
+// pipelining bug (hazard handling, state pruning, predication), never
+// an environmental artefact.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/maps"
+	"ehdl/internal/vm"
+)
+
+// Config parameterises one differential run.
+type Config struct {
+	// Opts is the compiler configuration for the pipeline side.
+	Opts core.Options
+	// Sim is the simulator configuration. The clock is pinned to zero
+	// regardless, matching the reference side.
+	Sim hwsim.Config
+	// MaxCycles bounds the pipeline drain. 0 means 1<<22.
+	MaxCycles uint64
+}
+
+func (c Config) maxCycles() uint64 {
+	if c.MaxCycles == 0 {
+		return 1 << 22
+	}
+	return c.MaxCycles
+}
+
+// Outcome is one packet's result on one engine.
+type Outcome struct {
+	Action          ebpf.XDPAction
+	RedirectIfindex uint32
+	Data            []byte
+}
+
+// DiffApp assembles an application and diffs it on the given traffic.
+func DiffApp(a *apps.App, packets [][]byte, cfg Config) error {
+	prog, err := a.Program()
+	if err != nil {
+		return err
+	}
+	return DiffProgram(prog, a.SetupHost, packets, cfg)
+}
+
+// DiffProgram runs packets through the reference interpreter and the
+// pipeline simulator and returns an error describing the first
+// divergence: verdicts, redirect targets, packet bytes, and the final
+// map state must all be identical.
+func DiffProgram(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]byte, cfg Config) error {
+	refs, refMaps, err := runReference(prog, setup, packets)
+	if err != nil {
+		return fmt.Errorf("conformance: reference: %w", err)
+	}
+	outs, simMaps, err := runPipeline(prog, setup, packets, cfg)
+	if err != nil {
+		return fmt.Errorf("conformance: pipeline: %w", err)
+	}
+
+	for i := range packets {
+		ref, out := refs[i], outs[i]
+		if out.Action != ref.Action {
+			return fmt.Errorf("conformance: packet %d (%dB): action %v, reference %v",
+				i, len(packets[i]), out.Action, ref.Action)
+		}
+		if out.RedirectIfindex != ref.RedirectIfindex {
+			return fmt.Errorf("conformance: packet %d: redirect ifindex %d, reference %d",
+				i, out.RedirectIfindex, ref.RedirectIfindex)
+		}
+		if !bytes.Equal(out.Data, ref.Data) {
+			return fmt.Errorf("conformance: packet %d (%dB): packet bytes diverge", i, len(packets[i]))
+		}
+	}
+	return diffMaps(refMaps, simMaps)
+}
+
+// runReference executes every packet on the interpreter, in order, over
+// one shared environment (maps persist across packets, as on the NIC).
+func runReference(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]byte) ([]Outcome, *maps.Set, error) {
+	env, err := vm.NewEnv(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	env.Now = func() uint64 { return 0 }
+	if setup != nil {
+		if err := setup(env.Maps); err != nil {
+			return nil, nil, err
+		}
+	}
+	machine, err := vm.New(prog, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := make([]Outcome, len(packets))
+	for i, data := range packets {
+		p := vm.NewPacket(data)
+		res, err := machine.Run(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+		outs[i] = Outcome{
+			Action:          res.Action,
+			RedirectIfindex: res.RedirectIfindex,
+			Data:            append([]byte(nil), p.Bytes()...),
+		}
+	}
+	return outs, env.Maps, nil
+}
+
+// runPipeline compiles and executes every packet on the cycle-accurate
+// simulator, injecting with input backpressure like a paced generator.
+func runPipeline(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]byte, cfg Config) ([]Outcome, *maps.Set, error) {
+	pl, err := core.Compile(prog, cfg.Opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("compile: %w", err)
+	}
+	sim, err := hwsim.New(pl, cfg.Sim)
+	if err != nil {
+		return nil, nil, err
+	}
+	sim.SetClock(func() uint64 { return 0 })
+	sim.KeepData(true)
+	if setup != nil {
+		if err := setup(sim.Maps()); err != nil {
+			return nil, nil, err
+		}
+	}
+	outs := make([]Outcome, len(packets))
+	seen := make([]bool, len(packets))
+	completed := 0
+	sim.OnComplete(func(res hwsim.Result) {
+		if res.Seq < uint64(len(outs)) && !seen[res.Seq] {
+			seen[res.Seq] = true
+			outs[res.Seq] = Outcome{
+				Action:          res.Action,
+				RedirectIfindex: res.RedirectIfindex,
+				Data:            res.Data,
+			}
+			completed++
+		}
+	})
+	for i, data := range packets {
+		for !sim.InputFree() {
+			if err := sim.Step(); err != nil {
+				return nil, nil, fmt.Errorf("packet %d: %w", i, err)
+			}
+		}
+		sim.Inject(data)
+		if err := sim.Step(); err != nil {
+			return nil, nil, fmt.Errorf("packet %d: %w", i, err)
+		}
+	}
+	if err := sim.RunToCompletion(cfg.maxCycles()); err != nil {
+		return nil, nil, err
+	}
+	if completed != len(packets) {
+		return nil, nil, fmt.Errorf("%d of %d packets completed", completed, len(packets))
+	}
+	return outs, sim.Maps(), nil
+}
+
+// diffMaps compares final map state entry by entry.
+func diffMaps(ref, got *maps.Set) error {
+	if ref.Len() != got.Len() {
+		return fmt.Errorf("conformance: %d maps, reference %d", got.Len(), ref.Len())
+	}
+	for id := 0; id < ref.Len(); id++ {
+		rm, _ := ref.ByID(id)
+		gm, _ := got.ByID(id)
+		if rm.Len() != gm.Len() {
+			return fmt.Errorf("conformance: map %d (%s): %d entries, reference %d",
+				id, rm.Spec().Name, gm.Len(), rm.Len())
+		}
+		var diff error
+		rm.Iterate(func(k, v []byte) bool {
+			gv, ok := gm.Lookup(k)
+			if !ok || !bytes.Equal(gv, v) {
+				diff = fmt.Errorf("conformance: map %d (%s) key %x: %x, reference %x",
+					id, rm.Spec().Name, k, gv, v)
+				return false
+			}
+			return true
+		})
+		if diff != nil {
+			return diff
+		}
+	}
+	return nil
+}
+
+// AllApps returns the full conformance surface: the paper's five
+// evaluation applications plus the toy example, the leaky bucket and
+// the load balancer.
+func AllApps() []*apps.App {
+	names := []string{"toy", "leakybucket", "loadbalancer"}
+	out := apps.All()
+	for _, n := range names {
+		a, ok := apps.ByName(n)
+		if !ok {
+			panic("conformance: unknown app " + n)
+		}
+		out = append(out, a)
+	}
+	return out
+}

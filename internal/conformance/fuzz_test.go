@@ -1,0 +1,101 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/pktgen"
+)
+
+// fuzzSeedCorpus is the malformed-packet seed set: every structured
+// malformation the generator knows, header-boundary truncations, and
+// random byte soup — the traffic the hardware bounds check must turn
+// into clean verdicts on both engines.
+func fuzzSeedCorpus(seed int64) [][]byte {
+	base := pktgen.Build(pktgen.PacketSpec{
+		Flow:     pktgen.Flow{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 4242, DstPort: 8080, Proto: 17},
+		TotalLen: 64,
+	})
+	r := rand.New(rand.NewSource(seed))
+	var out [][]byte
+	for _, kind := range pktgen.MalformKinds() {
+		for i := 0; i < 3; i++ {
+			out = append(out, pktgen.Malform(base, kind, r))
+		}
+	}
+	for _, n := range []int{0, 1, 13, 14, 33, 39, 40, 41, 48, len(base)} {
+		out = append(out, append([]byte(nil), base[:n]...))
+	}
+	for i := 0; i < 10; i++ {
+		pkt := make([]byte, 40+r.Intn(72))
+		r.Read(pkt)
+		out = append(out, pkt)
+	}
+	return out
+}
+
+// FuzzDifferential feeds arbitrary (mostly malformed) packets to the
+// firewall on both engines, sandwiched between two well-formed packets
+// of one established flow so the fuzz input interacts with live map
+// state. Two oracles per input:
+//
+//  1. With bounds-check elision disabled the pipeline executes the
+//     program's own checks, so verdicts, bytes and final map state must
+//     match the reference exactly, whatever the fuzzer invents.
+//  2. With elision on (the paper's default) the hardware per-access
+//     bounds check replaces the firewall's elided 42-byte guard, so
+//     packets shorter than the guard span may legally diverge: the
+//     hardware drops on a faulting access, or runs the program to its
+//     verdict when every live access happens to land in bounds. At or
+//     beyond the guard span, verdicts must match exactly.
+func FuzzDifferential(f *testing.F) {
+	for _, pkt := range fuzzSeedCorpus(0xF022) {
+		f.Add(pkt)
+	}
+	app, ok := apps.ByName("firewall")
+	if !ok {
+		f.Fatal("unknown app firewall")
+	}
+	prog, err := app.Program()
+	if err != nil {
+		f.Fatal(err)
+	}
+	well := pktgen.Build(pktgen.PacketSpec{
+		Flow:     pktgen.Flow{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 4242, DstPort: 8080, Proto: 17},
+		TotalLen: 64,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("oversized fuzz input")
+		}
+		packets := [][]byte{well, data, well}
+
+		exact := Config{Opts: core.Options{DisableBoundsElision: true}, MaxCycles: 1 << 18}
+		if err := DiffProgram(prog, app.SetupHost, packets, exact); err != nil {
+			t.Fatal(err)
+		}
+
+		refs, _, err := runReference(prog, app.SetupHost, packets)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		outs, _, err := runPipeline(prog, app.SetupHost, packets, Config{MaxCycles: 1 << 18})
+		if err != nil {
+			t.Fatalf("pipeline: %v", err)
+		}
+		// The span the firewall's elided bounds check guards:
+		// eth(14) + ip(20) + udp(8).
+		const guardSpan = 42
+		for i := range packets {
+			if outs[i].Action == refs[i].Action {
+				continue
+			}
+			if len(packets[i]) >= guardSpan {
+				t.Fatalf("packet %d (%dB, inside the elided guard span): action %v, reference %v",
+					i, len(packets[i]), outs[i].Action, refs[i].Action)
+			}
+		}
+	})
+}

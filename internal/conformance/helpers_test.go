@@ -1,0 +1,29 @@
+package conformance
+
+import (
+	"testing"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/obs"
+)
+
+// newTestObs builds a tracer over an in-memory sink plus a registry,
+// the standard observability rig of this suite.
+func newTestObs() (*obs.Tracer, *obs.Registry) {
+	return obs.NewTracer(0, obs.NewMemSink()), obs.NewRegistry()
+}
+
+// memTracer builds a tracer and returns the sink for event assertions.
+func memTracer() (*obs.Tracer, *obs.MemSink) {
+	sink := obs.NewMemSink()
+	return obs.NewTracer(0, sink), sink
+}
+
+func mustApp(t *testing.T, name string) *apps.App {
+	t.Helper()
+	a, ok := apps.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	return a
+}

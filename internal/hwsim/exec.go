@@ -7,6 +7,7 @@ import (
 	"ehdl/internal/ddg"
 	"ehdl/internal/ebpf"
 	"ehdl/internal/maps"
+	"ehdl/internal/obs"
 	"ehdl/internal/vm"
 )
 
@@ -169,6 +170,9 @@ func (s *Sim) execOp(j *job, op *core.Op, t int) error {
 			return err
 		}
 		if op.Access != nil && op.Access.Area == ddg.AreaMap {
+			if s.probes != nil {
+				s.probes.onMapAccess(s.cycle, j, t, op.MapID, obs.MapOpLoad)
+			}
 			// The BRAM read port decodes (and corrects) the looked-up
 			// entry before the load observes it.
 			if err := s.checkMapRead(j, op.MapID); err != nil {
@@ -202,6 +206,13 @@ func (s *Sim) execOp(j *job, op *core.Op, t int) error {
 		if isMap && s.debug != nil {
 			s.debug(fmt.Sprintf("cycle %d: seq %d stage %d %s (map store/atomic)", s.cycle, j.seq, t, op.Ins))
 		}
+		if isMap && s.probes != nil {
+			mop := obs.MapOpStore
+			if op.Kind == core.OpAtomic {
+				mop = obs.MapOpAtomic
+			}
+			s.probes.onMapAccess(s.cycle, j, t, op.MapID, mop)
+		}
 		if isMap {
 			// Stores and atomics are read-modify-write at word
 			// granularity: the ECC word must decode cleanly before the
@@ -233,8 +244,16 @@ func (s *Sim) execOp(j *job, op *core.Op, t int) error {
 			if op.TakenBlock >= 0 {
 				setBit(j.enabled, op.TakenBlock)
 			}
-		} else if op.FallBlock >= 0 {
-			setBit(j.enabled, op.FallBlock)
+			if s.probes != nil {
+				s.probes.onPredicate(s.cycle, j, t, true, op.TakenBlock)
+			}
+		} else {
+			if op.FallBlock >= 0 {
+				setBit(j.enabled, op.FallBlock)
+			}
+			if s.probes != nil {
+				s.probes.onPredicate(s.cycle, j, t, false, op.FallBlock)
+			}
 		}
 		return nil
 
@@ -337,6 +356,18 @@ func (s *Sim) execMapCall(j *job, op *core.Op, t int) error {
 	if s.debug != nil {
 		s.debug(fmt.Sprintf("cycle %d: seq %d stage %d %s key=%x", s.cycle, j.seq, t, op.Helper.Name(), key))
 	}
+	if s.probes != nil {
+		var mop obs.MapOp
+		switch op.Helper {
+		case ebpf.HelperMapLookupElem:
+			mop = obs.MapOpLookup
+		case ebpf.HelperMapUpdateElem:
+			mop = obs.MapOpUpdate
+		case ebpf.HelperMapDeleteElem:
+			mop = obs.MapOpDelete
+		}
+		s.probes.onMapAccess(s.cycle, j, t, op.MapID, mop)
+	}
 	switch op.Helper {
 	case ebpf.HelperMapLookupElem:
 		// Commit our own pending effects first (store-to-load ordering
@@ -354,7 +385,14 @@ func (s *Sim) execMapCall(j *job, op *core.Op, t int) error {
 		j.lookupAddr[op.MapID] = addr
 		j.lookupKey[op.MapID] = string(key)
 		if mb != nil && mb.NeedsFlush {
-			j.reads[op.MapID] = string(key)
+			// The Flush Evaluation Block stores every unconfirmed read
+			// address: a program that looks up several keys (e.g. forward
+			// and reverse flow entries) keeps all of them armed until the
+			// packet passes the write stage or is flushed.
+			if j.reads[op.MapID] == nil {
+				j.reads[op.MapID] = map[string]bool{}
+			}
+			j.reads[op.MapID][string(key)] = true
 		}
 		st.Regs[ebpf.R0] = addr
 
@@ -433,13 +471,24 @@ func (s *Sim) preWriteShadowKey(j *job, mapID int, key string) {
 		writerSeq: j.seq,
 		expires:   s.cycle + uint64(mb.WARDepth),
 	})
+	if s.probes != nil {
+		s.probes.onWARShadow(s.cycle, j, mapID, len(s.shadows), mb.WARDepth)
+	}
 }
 
 // shadowLookup returns the pre-write value visible to an older packet.
+// Pipeline position, not injection sequence, defines age (flush victims
+// re-enter behind packets with higher sequence numbers): the shadow is
+// visible only to a reader still ahead of the in-flight writer. A
+// retired writer leaves no legitimate reader behind — every packet that
+// was ahead of it retired first — so its shadows go dark immediately.
 func (s *Sim) shadowLookup(mapID int, key string, j *job) ([]byte, bool) {
 	for i := len(s.shadows) - 1; i >= 0; i-- {
 		sh := &s.shadows[i]
-		if sh.mapID == mapID && sh.key == key && j.seq < sh.writerSeq {
+		if sh.mapID != mapID || sh.key != key {
+			continue
+		}
+		if ws, inFlight := s.stageOfSeq(sh.writerSeq); inFlight && j.stage > ws {
 			if !sh.hadEntry {
 				return nil, true
 			}
@@ -447,6 +496,16 @@ func (s *Sim) shadowLookup(mapID int, key string, j *job) ([]byte, bool) {
 		}
 	}
 	return nil, false
+}
+
+// stageOfSeq locates an in-flight packet by sequence number.
+func (s *Sim) stageOfSeq(seq uint64) (int, bool) {
+	for t := len(s.stages) - 1; t >= 0; t-- {
+		if j := s.stages[t]; j != nil && j.seq == seq {
+			return t, true
+		}
+	}
+	return 0, false
 }
 
 // shadowValue returns the shadow for the entry the packet looked up.
@@ -465,9 +524,10 @@ func (s *Sim) shadowValue(mapID int, j *job) ([]byte, bool) {
 // --- RAW flush evaluation ----------------------------------------------
 
 // rawHazardCheck fires the Flush Evaluation Block for a write through
-// the lookup pointer: the written entry is the one this packet read.
+// the lookup pointer: the written entry is the one this packet last
+// looked up.
 func (s *Sim) rawHazardCheck(j *job, mapID int, t int) {
-	key, ok := j.reads[mapID]
+	key, ok := j.lookupKey[mapID]
 	if !ok {
 		return
 	}
@@ -499,7 +559,7 @@ func (s *Sim) rawHazardCheckKey(j *job, mapID int, key string, t int) {
 		if v == nil || v == j {
 			continue
 		}
-		if rk, ok := v.reads[mapID]; ok && rk == key {
+		if v.reads[mapID][key] {
 			hazard = true
 			break
 		}

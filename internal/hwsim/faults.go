@@ -79,6 +79,9 @@ func (s *Sim) applyFaults() {
 func (s *Sim) noteFault(inj *faults.Injector, class faults.Class) {
 	inj.Note(class)
 	s.stats.FaultsInjected++
+	if s.probes != nil {
+		s.probes.onFault(s.cycle, int(class))
+	}
 }
 
 // forceFlushStorm fires a spurious Flush Evaluation verdict on one

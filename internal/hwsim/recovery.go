@@ -102,6 +102,15 @@ func (s *Sim) Checkpoint() *maps.SetSnapshot { return s.checkpoint }
 func (s *Sim) takeCheckpoint() {
 	s.checkpoint = s.env.Maps.Snapshot()
 	s.stats.CheckpointsTaken++
+	if s.probes != nil {
+		entries := 0
+		for i := 0; i < s.env.Maps.Len(); i++ {
+			if m, ok := s.env.Maps.ByID(i); ok {
+				entries += m.Len()
+			}
+		}
+		s.probes.onCheckpoint(s.cycle, entries)
+	}
 }
 
 // tickScrubber advances the background scrubber one clock cycle. A
@@ -113,9 +122,14 @@ func (s *Sim) tickScrubber() {
 		return
 	}
 	passDone, passClean := s.scrubber.Tick()
-	if passDone && passClean && s.quarantinedEntries() == 0 {
-		s.recoveryAttempts = 0
-		s.takeCheckpoint()
+	if passDone {
+		if s.probes != nil {
+			s.probes.onScrub(s.cycle, s.scrubber.Stats().Words, passClean)
+		}
+		if passClean && s.quarantinedEntries() == 0 {
+			s.recoveryAttempts = 0
+			s.takeCheckpoint()
+		}
 	}
 }
 
@@ -185,6 +199,9 @@ func (s *Sim) recoverNow(reason string) error {
 	for t := len(s.stages) - 1; t >= 0; t-- {
 		if j := s.stages[t]; j != nil {
 			s.stages[t] = nil
+			if s.probes != nil {
+				s.probes.onStageExit(s.cycle, j, t)
+			}
 			s.abortInFlight(j)
 		}
 	}
@@ -205,6 +222,9 @@ func (s *Sim) recoverNow(reason string) error {
 	s.syncProtectionStats()
 
 	if max := s.cfg.maxRecoveries(); max > 0 && s.recoveryAttempts > max {
+		if s.probes != nil {
+			s.probes.onRecovery(s.cycle, s.recoveryAttempts, 0)
+		}
 		return &RecoveryError{Cycle: s.cycle, Attempts: max, Reason: reason}
 	}
 
@@ -212,6 +232,9 @@ func (s *Sim) recoverNow(reason string) error {
 	s.recoveryHold = s.cycle + backoff
 	s.stats.RecoveryBackoffCycles += backoff
 	s.lastRetire = s.cycle
+	if s.probes != nil {
+		s.probes.onRecovery(s.cycle, s.recoveryAttempts, backoff)
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"ehdl/internal/ebpf"
 	"ehdl/internal/faults"
 	"ehdl/internal/maps"
+	"ehdl/internal/obs"
 	"ehdl/internal/protect"
 	"ehdl/internal/vm"
 )
@@ -84,6 +85,17 @@ type Config struct {
 	// RecoveryBackoffCycles is the base of the exponential input-hold
 	// schedule after a recovery (base << attempt-1). 0 means 256.
 	RecoveryBackoffCycles int
+
+	// Trace, when non-nil, receives the cycle-level event stream: frame
+	// movement through stages, predicate outcomes, WAR-shadow captures,
+	// flush episodes, map port operations, verdicts and the
+	// protection/recovery machinery. Nil (the default) keeps the hot
+	// path free of instrumentation beyond one pointer comparison.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, accumulates pipeline metrics under the
+	// hwsim.* names (see the Metric* constants). Nil disables metric
+	// accounting entirely.
+	Metrics *obs.Registry
 }
 
 func (c Config) clockHz() float64 {
@@ -228,7 +240,7 @@ type job struct {
 
 	lookupAddr map[int]uint64 // mapID -> last lookup value address
 	lookupKey  map[int]string // mapID -> last lookup key
-	reads      map[int]string // mapID -> unconfirmed read key (flush eval)
+	reads      map[int]map[string]bool // mapID -> unconfirmed read keys (flush eval addresses)
 	flushed    int
 	commits    int // committed map mutations (atomic/update/delete/store)
 
@@ -280,7 +292,7 @@ func (j *job) restore(s *snapshot) {
 	for k, v := range s.lookupKey {
 		j.lookupKey[k] = v
 	}
-	j.reads = map[int]string{}
+	j.reads = map[int]map[string]bool{}
 	j.done = s.done
 	j.action = s.action
 	j.redirect = s.redirect
@@ -343,6 +355,10 @@ type Sim struct {
 	onComplete func(Result)
 	keepData   bool
 
+	// probes is the observability surface, nil unless Config.Trace or
+	// Config.Metrics opted in (see trace.go).
+	probes *probes
+
 	// readStages/writeStages per map pre-resolved for the flush block.
 	strictErr error
 
@@ -391,8 +407,14 @@ func NewWithEnv(pl *core.Pipeline, cfg Config, env *vm.Env) (*Sim, error) {
 	}
 	s.stats.Actions = map[ebpf.XDPAction]uint64{}
 	s.initProtection()
+	if cfg.Trace != nil || cfg.Metrics != nil {
+		s.probes = newProbes(cfg.Trace, cfg.Metrics, env.Maps.Len(), len(pl.Stages))
+	}
 	return s, nil
 }
+
+// Tracer returns the attached event tracer (nil when tracing is off).
+func (s *Sim) Tracer() *obs.Tracer { return s.cfg.Trace }
 
 // Maps exposes the simulated NIC's map memory (the host interface).
 func (s *Sim) Maps() *maps.Set { return s.env.Maps }
@@ -426,6 +448,9 @@ func (s *Sim) Inject(data []byte) bool {
 			s.queueFull = true
 			s.stats.QueueOverflows++
 		}
+		if s.probes != nil {
+			s.probes.onQueueDrop(s.cycle, len(data))
+		}
 		return false
 	}
 	s.queueFull = false
@@ -443,13 +468,16 @@ func (s *Sim) Inject(data []byte) bool {
 		execStage:  -1,
 		lookupAddr: map[int]uint64{},
 		lookupKey:  map[int]string{},
-		reads:      map[int]string{},
+		reads:      map[int]map[string]bool{},
 	}
 	s.seq++
 	setBit(j.enabled, 0) // the entry block is always enabled
 	j.initial = j.capture()
 	s.queue = append(s.queue, j)
 	s.stats.Injected++
+	if s.probes != nil {
+		s.probes.onInject(s.cycle, j.seq, len(data), frames)
+	}
 	return true
 }
 
@@ -500,6 +528,9 @@ func (s *Sim) Step() error {
 
 	// Retire the packet leaving the final stage.
 	if j := s.stages[last]; j != nil {
+		if s.probes != nil {
+			s.probes.onStageExit(s.cycle, j, last)
+		}
 		s.complete(j)
 	}
 
@@ -513,6 +544,10 @@ func (s *Sim) Step() error {
 	for t := last; t > low; t-- {
 		s.stages[t] = s.stages[t-1]
 		s.stages[t-1] = nil
+		if j := s.stages[t]; j != nil && s.probes != nil {
+			s.probes.onStageExit(s.cycle, j, t-1)
+			s.probes.onStageEnter(s.cycle, j, t)
+		}
 	}
 
 	// Feed the stall point from the reload queue (after the dead time)
@@ -551,6 +586,15 @@ func (s *Sim) Step() error {
 			return err
 		}
 	}
+	if s.probes != nil {
+		occ := 0
+		for _, j := range s.stages {
+			if j != nil {
+				occ++
+			}
+		}
+		s.probes.endCycle(occ, len(s.queue))
+	}
 	if s.strictErr != nil {
 		return s.strictErr
 	}
@@ -582,6 +626,9 @@ func (s *Sim) serviceStall() {
 			s.stages[s.stallPoint] = j
 			j.stage = s.stallPoint
 			j.execStage = s.stallPoint - 1 // execute this stage now
+			if s.probes != nil {
+				s.probes.onStageEnter(s.cycle, j, s.stallPoint)
+			}
 		}
 		return
 	}
@@ -595,6 +642,9 @@ func (s *Sim) serviceStall() {
 		s.stallDrainTo = -1
 	}
 	s.stallPoint = -1
+	if s.probes != nil {
+		s.probes.onFlushEnd(s.cycle)
+	}
 }
 
 // injectFromQueue moves the next queued packet into stage 0, honouring
@@ -618,6 +668,9 @@ func (s *Sim) injectFromQueue() {
 	j.stage = 0
 	j.execStage = -1
 	s.injectGap = j.frames - 1
+	if s.probes != nil {
+		s.probes.onStageEnter(s.cycle, j, 0)
+	}
 }
 
 // complete retires a packet.
@@ -631,6 +684,9 @@ func (s *Sim) complete(j *job) {
 	latency := s.cycle - j.injectedAt
 	s.lastRetire = s.cycle
 	s.stats.Completed++
+	if s.probes != nil {
+		s.probes.onVerdict(s.cycle, j, latency)
+	}
 	s.stats.LatencySum += latency
 	if latency > s.stats.LatencyMax {
 		s.stats.LatencyMax = latency
@@ -694,7 +750,7 @@ func (s *Sim) flushVictims(from, writeStage, mapID int, key string, force bool) 
 		if j == nil {
 			continue
 		}
-		if rk, ok := j.reads[mapID]; ok && rk == key {
+		if j.reads[mapID][key] {
 			matched = true
 		} else if t > minRead || (t == minRead && j.execStage >= minRead) {
 			// Already past the read (different key, or the read path was
@@ -742,6 +798,9 @@ func (s *Sim) flushVictims(from, writeStage, mapID int, key string, force bool) 
 		v.restore(snap)
 		v.flushed++
 		v.execStage = from - 1
+		if s.probes != nil {
+			s.probes.onStageExit(s.cycle, v, v.stage)
+		}
 		kept = append(kept, v)
 	}
 	s.reload = append(append([]*job(nil), kept...), s.reload...)
@@ -750,6 +809,9 @@ func (s *Sim) flushVictims(from, writeStage, mapID int, key string, force bool) 
 	s.reloadDelay = s.cfg.reloadCycles()
 	s.stats.Flushes++
 	s.stats.FlushedPackets += uint64(len(kept))
+	if s.probes != nil {
+		s.probes.onFlushBegin(s.cycle, writeStage, from, mapID, len(kept))
+	}
 }
 
 // SetClock overrides the nanosecond clock visible to time helpers

@@ -66,6 +66,9 @@ func (s *Sim) checkWatchdog() error {
 		return nil
 	}
 	s.stats.WatchdogTrips++
+	if s.probes != nil {
+		s.probes.onWatchdog(s.cycle, s.lastRetire)
+	}
 	inFlight := 0
 	for _, j := range s.stages {
 		if j != nil {

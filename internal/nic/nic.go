@@ -6,6 +6,7 @@
 package nic
 
 import (
+	"context"
 	"fmt"
 
 	"ehdl/internal/core"
@@ -13,6 +14,7 @@ import (
 	"ehdl/internal/faults"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/maps"
+	"ehdl/internal/obs"
 )
 
 // ShellConfig parameterises the shell.
@@ -80,6 +82,12 @@ func New(pl *core.Pipeline, cfg ShellConfig) (*Shell, error) {
 	sim, err := hwsim.New(pl, cfg.Sim)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Sim.Metrics != nil {
+		// With metrics armed the shell also counts the host-port map
+		// traffic: the wrappers swap into the shared set, so data plane
+		// and host side meter the same objects.
+		maps.ObserveSet(sim.Maps(), cfg.Sim.Metrics)
 	}
 	return &Shell{cfg: cfg, sim: sim, pl: pl, inj: inj}, nil
 }
@@ -150,6 +158,26 @@ type Report struct {
 	RecoveryAborted uint64
 	// RecoveryBackoffCycles accumulates post-recovery input-hold time.
 	RecoveryBackoffCycles uint64
+
+	// Observability figures, read from the metrics registry (all zero
+	// unless Sim.Metrics is configured). They are cumulative over the
+	// simulator's lifetime, not deltas of this RunLoad.
+
+	// MeanStageOccupancy is the average number of occupied pipeline
+	// stages per cycle (hwsim.stage_occupancy).
+	MeanStageOccupancy float64
+	// P99LatencyCycles is the 99th-percentile forwarding latency in
+	// pipeline cycles (hwsim.cycles_per_packet).
+	P99LatencyCycles uint64
+	// FlushPenaltyMean is the mean cycles from a flush verdict to the
+	// stall release (hwsim.flush_penalty_cycles).
+	FlushPenaltyMean float64
+	// MapPortOps counts data-plane map port operations
+	// (hwsim.map_port_ops).
+	MapPortOps uint64
+	// BackpressureCycles counts cycles the input held while work was
+	// queued (hwsim.inject_backpressure_cycles).
+	BackpressureCycles uint64
 }
 
 // LineRateMpps returns the port's packet rate for a frame size.
@@ -165,6 +193,10 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 	if offeredPps <= 0 {
 		return Report{}, fmt.Errorf("nic: offered rate must be positive")
 	}
+	// Annotate the run for runtime/trace consumers (-runtime-trace on
+	// the CLIs); free when no execution trace is active.
+	ctx, endTask := obs.Task(context.Background(), "nic.RunLoad")
+	defer endTask()
 	clock := sh.cfg.clockHz()
 	cyclesPerPacket := clock / offeredPps
 
@@ -195,6 +227,7 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 	})
 	defer sh.sim.OnComplete(nil)
 
+	endRegion := obs.Region(ctx, "drive")
 	extra := 0
 	for sent < count || sh.sim.Busy() {
 		// Arrivals faster than the clock queue several packets per cycle.
@@ -223,10 +256,12 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 			sh.inj.Note(faults.QueueOverflow)
 		}
 		if err := sh.sim.Step(); err != nil {
+			endRegion()
 			return rep, err
 		}
 		due--
 	}
+	endRegion()
 
 	end := sh.sim.Stats()
 	rep.Cycles = end.Cycles - startStat.Cycles
@@ -259,6 +294,19 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 	rep.OfferedGbps = float64(bytesIn+20*rep.Sent) * 8 / (float64(sent) * cyclesPerPacket / clock) / 1e9
 	if rep.Received > 0 {
 		rep.AvgLatencyNs /= float64(rep.Received)
+	}
+	if reg := sh.cfg.Sim.Metrics; reg != nil {
+		if h, ok := reg.HistogramByName(hwsim.MetricStageOccupancy); ok {
+			rep.MeanStageOccupancy = h.Mean()
+		}
+		if h, ok := reg.HistogramByName(hwsim.MetricCyclesPerPacket); ok {
+			rep.P99LatencyCycles = h.Quantile(0.99)
+		}
+		if h, ok := reg.HistogramByName(hwsim.MetricFlushPenalty); ok {
+			rep.FlushPenaltyMean = h.Mean()
+		}
+		rep.MapPortOps, _ = reg.CounterValue(hwsim.MetricMapPortOps)
+		rep.BackpressureCycles, _ = reg.CounterValue(hwsim.MetricBackpressure)
 	}
 	return rep, nil
 }
