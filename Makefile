@@ -1,18 +1,19 @@
 GO ?= go
 
-.PHONY: all build test short vet race chaos bench check cover ci trace
+.PHONY: all build test short vet race chaos bench check cover ci trace fuzz-smoke
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# The conformance suite and the observability layer rerun under the race
-# detector even in the default gate: the tracer and registry are the two
-# pieces most likely to grow cross-goroutine users.
+# The conformance suite, the observability layer and the live-update
+# controller rerun under the race detector even in the default gate:
+# the tracer, registry and update machinery are the pieces most likely
+# to grow cross-goroutine users.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/conformance/ ./internal/obs/
+	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/
 
 # Quick slice: skips the chaos campaign sweep and long fuzz runs.
 short:
@@ -41,8 +42,16 @@ cover:
 	      /internal\/obs/     { split($$5, a, "%"); if (a[1]+0 < 85) { print "FAIL: internal/obs coverage " a[1] "% < 85%"; exit 1 } }' /tmp/ehdl-cover.txt
 	@echo "coverage gates passed"
 
+# Short fuzz sweeps over the two differential surfaces: the vm-vs-hwsim
+# conformance fuzzer and the migration schema/copy fuzzer. Ten seconds
+# each — a smoke pass over the corpus plus fresh mutations, not a
+# campaign.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/conformance/
+	$(GO) test -run '^$$' -fuzz FuzzMigrate -fuzztime 10s ./internal/liveupdate/
+
 # The full gate a PR must clear.
-ci: vet build test race chaos cover
+ci: vet build test race chaos cover fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

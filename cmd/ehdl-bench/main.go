@@ -9,7 +9,7 @@
 //
 // Experiment identifiers: table1, fig8, fig9a, fig9b, fig9c, fig10,
 // table2, table3, table4, table5, single-flow, pruning, power, hazard,
-// framing, lb.
+// framing, lb, resilience, protection, liveupdate.
 package main
 
 import (

@@ -9,6 +9,11 @@
 //	ehdl-sim -app dnat -flows 8 -policy stall
 //	ehdl-sim -app firewall -trace out.jsonl -metrics
 //	ehdl-sim -app router -cpuprofile cpu.out -pprof localhost:6060
+//	ehdl-sim -app firewall -update-prog leakybucket -update-after 5000
+//
+// Exit status: 0 on a clean run, 1 on a usage or configuration error,
+// 2 when the pipeline declared itself unrecoverable or a scheduled
+// live update was rolled back.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"ehdl/internal/ebpf"
 	"ehdl/internal/faults"
 	"ehdl/internal/hwsim"
+	"ehdl/internal/liveupdate"
 	"ehdl/internal/nic"
 	"ehdl/internal/obs"
 	"ehdl/internal/pktgen"
@@ -48,6 +54,11 @@ func run() int {
 		scrubEach = flag.Int("scrub-interval", 0, "scrubber budget in cycles per checked word (0: default 8)")
 		maxRecov  = flag.Int("max-recoveries", 0, "drain-and-restart budget between clean scrub passes (0: default 8, negative: unbounded)")
 
+		updProg     = flag.String("update-prog", "", "hot-swap to this application mid-run (requires -update-after)")
+		updAfter    = flag.Int("update-after", -1, "arm the live update after this many offered packets (requires -update-prog)")
+		canaryFrac  = flag.Float64("canary-frac", 0, "fraction of live traffic mirrored to the update's shadow pipeline in (0,1] (0: default 0.25)")
+		updDeadline = flag.Int("update-deadline", 0, "canary deadline of the live update in ticks (0: default)")
+
 		tracePath = flag.String("trace", "", "write the cycle-level event trace to this file (JSONL)")
 		traceText = flag.Bool("trace-text", false, "write the trace in compact text instead of JSONL")
 		metrics   = flag.Bool("metrics", false, "collect the metrics registry and render it after the run")
@@ -57,6 +68,33 @@ func run() int {
 		rtTrace   = flag.String("runtime-trace", "", "write a runtime/trace execution trace to this file")
 	)
 	flag.Parse()
+
+	// Flag-combination validation: everything rejected here is a usage
+	// error (exit 1) before any work starts.
+	switch {
+	case flag.NArg() > 0:
+		return usage(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	case *packets <= 0:
+		return usage(fmt.Errorf("-packets must be positive, got %d", *packets))
+	case *rate < 0:
+		return usage(fmt.Errorf("-rate must be >= 0, got %g", *rate))
+	case *intensity < 0 || *intensity > 1:
+		return usage(fmt.Errorf("-faults must be in [0,1], got %g", *intensity))
+	case *replay != "" && (*flows > 0 || *pktLen > 0):
+		return usage(fmt.Errorf("-replay fixes the traffic profile; -flows/-pktlen only apply to generated traffic"))
+	case *updProg != "" && *updAfter < 0:
+		return usage(fmt.Errorf("-update-prog requires -update-after"))
+	case *updProg == "" && *updAfter >= 0:
+		return usage(fmt.Errorf("-update-after requires -update-prog"))
+	case *updProg == "" && (*canaryFrac != 0 || *updDeadline != 0):
+		return usage(fmt.Errorf("-canary-frac/-update-deadline only apply with -update-prog"))
+	case *canaryFrac < 0 || *canaryFrac > 1:
+		return usage(fmt.Errorf("-canary-frac must be in (0,1], got %g", *canaryFrac))
+	case *updDeadline < 0:
+		return usage(fmt.Errorf("-update-deadline must be >= 0, got %d", *updDeadline))
+	case *updProg != "" && *updAfter >= *packets:
+		return usage(fmt.Errorf("-update-after %d never triggers within -packets %d", *updAfter, *packets))
+	}
 
 	prof := obs.ProfileConfig{
 		CPUFile:   *cpuProf,
@@ -144,6 +182,28 @@ func run() int {
 		return fail(err)
 	}
 
+	if *updProg != "" {
+		upd, ok := apps.ByName(*updProg)
+		if !ok {
+			return usage(fmt.Errorf("unknown -update-prog %q", *updProg))
+		}
+		uprog, err := upd.Program()
+		if err != nil {
+			return fail(err)
+		}
+		ucfg := liveupdate.Config{
+			Prog:                uprog,
+			Setup:               upd.SetupHost,
+			CanaryFrac:          *canaryFrac,
+			CanaryDeadlineTicks: uint64(*updDeadline),
+			Trace:               tr,
+			Metrics:             reg,
+		}
+		if err := sh.ScheduleUpdate(*updAfter, ucfg); err != nil {
+			return fail(err)
+		}
+	}
+
 	var next func() []byte
 	frameLen := 64
 	switch *replay {
@@ -203,6 +263,14 @@ func run() int {
 		fmt.Printf("             overflow bursts %d (episodes %d), watchdog trips %d\n",
 			rep.OverflowBursts, rep.QueueOverflows, rep.WatchdogTrips)
 	}
+	if *updProg != "" {
+		fmt.Printf("  update:    %s -> %s after %d packets: stage %s\n",
+			app.Name, *updProg, *updAfter, rep.UpdateStage)
+		fmt.Printf("             migrated %d entries (+%d delta), canaried %d (%d diverged)\n",
+			rep.MigratedEntries, rep.DeltaReplayed, rep.CanariedPackets, rep.CanaryDivergences)
+		fmt.Printf("             held %d at cutover, post-verified %d (%d diverged)\n",
+			rep.HeldPackets, rep.PostVerifyChecked, rep.PostVerifyDivergences)
+	}
 	if level != protect.LevelNone {
 		fmt.Printf("  protect:   %s, %d words corrected, %d uncorrectable\n",
 			level, rep.CorrectedWords, rep.UncorrectableWords)
@@ -234,10 +302,22 @@ func run() int {
 			return fail(err)
 		}
 	}
+
+	if rep.UpdatesRolledBack > 0 {
+		// The old pipeline kept serving (the run above is valid), but the
+		// requested swap did not happen: campaign scripts need to know.
+		fmt.Fprintf(os.Stderr, "update rolled back: %s\n", rep.UpdateFailure)
+		return 2
+	}
 	return 0
 }
 
 func fail(err error) int {
 	fmt.Fprintln(os.Stderr, err)
+	return 1
+}
+
+func usage(err error) int {
+	fmt.Fprintf(os.Stderr, "usage error: %v (see -h)\n", err)
 	return 1
 }

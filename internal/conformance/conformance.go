@@ -73,20 +73,28 @@ func DiffProgram(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]by
 	}
 
 	for i := range packets {
-		ref, out := refs[i], outs[i]
-		if out.Action != ref.Action {
-			return fmt.Errorf("conformance: packet %d (%dB): action %v, reference %v",
-				i, len(packets[i]), out.Action, ref.Action)
-		}
-		if out.RedirectIfindex != ref.RedirectIfindex {
-			return fmt.Errorf("conformance: packet %d: redirect ifindex %d, reference %d",
-				i, out.RedirectIfindex, ref.RedirectIfindex)
-		}
-		if !bytes.Equal(out.Data, ref.Data) {
-			return fmt.Errorf("conformance: packet %d (%dB): packet bytes diverge", i, len(packets[i]))
+		if err := CompareOutcome(outs[i], refs[i]); err != nil {
+			return fmt.Errorf("conformance: packet %d (%dB): %w", i, len(packets[i]), err)
 		}
 	}
-	return diffMaps(refMaps, simMaps)
+	return CompareMaps(refMaps, simMaps)
+}
+
+// CompareOutcome diffs one packet's result against the reference:
+// verdict, redirect target and final packet bytes must all match. The
+// live-update canary uses it packet by packet to judge the shadow
+// pipeline against a reference interpreter running the new program.
+func CompareOutcome(got, ref Outcome) error {
+	if got.Action != ref.Action {
+		return fmt.Errorf("action %v, reference %v", got.Action, ref.Action)
+	}
+	if got.RedirectIfindex != ref.RedirectIfindex {
+		return fmt.Errorf("redirect ifindex %d, reference %d", got.RedirectIfindex, ref.RedirectIfindex)
+	}
+	if !bytes.Equal(got.Data, ref.Data) {
+		return fmt.Errorf("packet bytes diverge")
+	}
+	return nil
 }
 
 // runReference executes every packet on the interpreter, in order, over
@@ -174,8 +182,8 @@ func runPipeline(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]by
 	return outs, sim.Maps(), nil
 }
 
-// diffMaps compares final map state entry by entry.
-func diffMaps(ref, got *maps.Set) error {
+// CompareMaps compares two map sets entry by entry, got against ref.
+func CompareMaps(ref, got *maps.Set) error {
 	if ref.Len() != got.Len() {
 		return fmt.Errorf("conformance: %d maps, reference %d", got.Len(), ref.Len())
 	}

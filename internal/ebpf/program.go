@@ -63,7 +63,8 @@ func (s MapSpec) Validate() error {
 	if s.MaxEntries <= 0 {
 		return fmt.Errorf("ebpf: map %q: invalid max entries %d", s.Name, s.MaxEntries)
 	}
-	if s.Kind == MapArray && s.KeySize != 4 {
+	if (s.Kind == MapArray || s.Kind == MapDevMap) && s.KeySize != 4 {
+		// DEVMAPs share the array implementation: u32 index keys.
 		return fmt.Errorf("ebpf: array map %q requires 4-byte keys, got %d", s.Name, s.KeySize)
 	}
 	return nil

@@ -24,6 +24,7 @@ import (
 	"ehdl/internal/faults"
 	"ehdl/internal/hdl"
 	"ehdl/internal/hwsim"
+	"ehdl/internal/liveupdate"
 	"ehdl/internal/nic"
 	"ehdl/internal/pktgen"
 	"ehdl/internal/power"
@@ -107,6 +108,7 @@ func All() map[string]Runner {
 		"lb":          LoadBalancerDemo,
 		"resilience":  Resilience,
 		"protection":  ProtectionAblation,
+		"liveupdate":  LiveUpdateUnderLoad,
 	}
 }
 
@@ -731,6 +733,92 @@ func ProtectionAblation(Config) (Table, error) {
 	t.Notes = append(t.Notes,
 		"premium = max-utilisation(protected) - max-utilisation(none); stated bound: ECC adds <= 2 points over the paper's 6.5%-13.3% band",
 		"the checkpoint shadow copy lives in HBM behind the shell; the fabric pays codecs, check-bit BRAM, the scrubber FSM and per-map DMA channels")
+	return t, nil
+}
+
+// LiveUpdateUnderLoad runs the maintenance scenario the hitless-update
+// subsystem exists for: replace the serving firewall with the
+// leaky-bucket rate limiter mid-run — shadow warm-up, state migration,
+// canary, atomic cutover — without dropping a packet, then force the
+// same swap to fail (an SEU campaign corrupting the shadow's maps) and
+// show the rollback leaving the old pipeline serving untouched.
+func LiveUpdateUnderLoad(cfg Config) (Table, error) {
+	t := Table{ID: "liveupdate", Title: "Hitless live update under load (firewall -> leaky bucket)",
+		Columns: []string{"Scenario", "Sent", "Lost", "Held", "Canaried", "Diverged", "Post-verified", "Outcome"}}
+	app := apps.Firewall()
+	lb, _ := apps.ByName("leakybucket")
+	n := max(cfg.packets(), 1000)
+
+	scenarios := []struct {
+		name string
+		fc   faults.Config
+	}{
+		{"clean swap", faults.Config{}},
+		{"SEU-corrupted shadow", faults.Single(faults.SEUMapEntry, 0.5, 13)},
+	}
+	for _, sc := range scenarios {
+		pl, err := compileApp(app, core.Options{})
+		if err != nil {
+			return t, err
+		}
+		sh, err := nic.New(pl, nic.ShellConfig{})
+		if err != nil {
+			return t, err
+		}
+		// Pinned helper time: the canary diffs the pipelined shadow
+		// against a sequential reference, and the rate limiter reads
+		// bpf_ktime.
+		sh.PinClock(0)
+		if err := app.Setup(sh.Maps()); err != nil {
+			return t, err
+		}
+		lbProg, err := lb.Program()
+		if err != nil {
+			return t, err
+		}
+		ucfg := liveupdate.Config{
+			Prog:                lbProg,
+			Setup:               lb.SetupHost,
+			CanaryFrac:          1,
+			CanaryPackets:       8,
+			CanaryDeadlineTicks: 40000,
+			PostVerifyPackets:   64,
+		}
+		if sc.fc.Enabled() {
+			ucfg.Sim.Faults = faults.New(sc.fc)
+		}
+		if err := sh.ScheduleUpdate(n/5, ucfg); err != nil {
+			return t, err
+		}
+		gen := pktgen.NewGenerator(app.Traffic)
+		rep, err := sh.RunLoad(gen.Next, n, sh.LineRateMpps(64)*1e6/8)
+		if err != nil {
+			return t, fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+		outcome := "hitless"
+		if rep.UpdatesRolledBack > 0 {
+			outcome = "rolled back, old pipeline serving"
+		} else if rep.UpdatesCompleted != 1 {
+			outcome = fmt.Sprintf("stuck at %s", rep.UpdateStage)
+		}
+		t.Rows = append(t.Rows, []string{
+			sc.name, u64s(rep.Sent), u64s(rep.Lost), u64s(rep.HeldPackets),
+			u64s(rep.CanariedPackets), u64s(rep.CanaryDivergences),
+			u64s(rep.PostVerifyChecked), outcome,
+		})
+	}
+
+	pl, err := compileApp(app, core.Options{})
+	if err != nil {
+		return t, err
+	}
+	dev := hdl.AlveoU50()
+	base := hdl.EstimateDesign(pl).PercentOf(dev)
+	upd := hdl.EstimateDesignUpdatable(pl).PercentOf(dev)
+	t.Notes = append(t.Notes,
+		"held packets are buffered during the cutover drain and released into the new pipeline: zero loss is the hitless proof",
+		fmt.Sprintf("updatable firewall prices %.2f%% max utilisation on the U50, +%.2f pts over the static design (double-buffered maps + reconfiguration controller)",
+			upd.Max(), upd.Max()-base.Max()))
 	return t, nil
 }
 

@@ -323,6 +323,28 @@ func TestProtectionAblationShape(t *testing.T) {
 	}
 }
 
+func TestLiveUpdateUnderLoadShape(t *testing.T) {
+	tab := run(t, "liveupdate")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want a clean swap and a forced rollback", len(tab.Rows))
+	}
+	if got := cell(t, tab, 0, "Outcome"); got != "hitless" {
+		t.Fatalf("clean swap outcome %q", got)
+	}
+	if lost := cellF(t, tab, 0, "Lost"); lost != 0 {
+		t.Errorf("clean swap lost %v packets — not hitless", lost)
+	}
+	if cellF(t, tab, 0, "Canaried") < 8 || cellF(t, tab, 0, "Diverged") != 0 {
+		t.Errorf("clean swap canary row broken: %v", tab.Rows[0])
+	}
+	if got := cell(t, tab, 1, "Outcome"); !strings.Contains(got, "rolled back") {
+		t.Fatalf("corrupted shadow outcome %q, want a rollback", got)
+	}
+	if lost := cellF(t, tab, 1, "Lost"); lost != 0 {
+		t.Errorf("rollback lost %v packets — the old pipeline must keep serving", lost)
+	}
+}
+
 func TestLoadBalancerDemo(t *testing.T) {
 	tab := run(t, "lb")
 	if len(tab.Rows) != 4 {

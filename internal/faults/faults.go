@@ -85,7 +85,8 @@ func Classes() []Class {
 // flush-storm classes, per generated packet for MalformedTraffic.
 type Config struct {
 	// Seed drives every random decision. Two injectors with the same
-	// Config produce the same fault sequence.
+	// Config produce the same fault sequence. Every class derives its
+	// own stream from this one seed (see Injector).
 	Seed int64
 
 	SEURegisterRate float64
@@ -138,6 +139,18 @@ func (c Config) BurstLen() int {
 		return 64
 	}
 	return c.OverflowBurstLen
+}
+
+// Fork derives a configuration whose injector draws streams unrelated
+// to this one's while staying a pure function of the original seed: the
+// shell hands a forked campaign to a shadow pipeline during a live
+// update, so the shadow faces the same fault classes and rates without
+// perturbing (or copying) the serving pipeline's fault sites. Distinct
+// tags give distinct streams.
+func (c Config) Fork(tag int64) Config {
+	const phi = int64(-0x61c8864680b583eb) // golden-ratio increment as int64
+	c.Seed = splitmix(c.Seed ^ (tag+1)*phi)
+	return c
 }
 
 // Profile returns the canonical chaos profile scaled by intensity in
@@ -212,19 +225,46 @@ func (c Counters) String() string {
 
 // Injector is one seeded fault source. It is not safe for concurrent
 // use; the cycle-driven simulator consults it from a single goroutine.
+//
+// Every fault class owns an independent PRNG stream derived from the
+// single configured seed. That makes a campaign byte-for-byte
+// reproducible at the granularity of one class: a class's decision and
+// fault-site sequence depends only on how often that class was
+// consulted, never on how its draws interleave with other classes or
+// other consumers (the NIC shell rolls for ingress bursts and malformed
+// frames while the pipeline simulator rolls for SEUs and flush storms,
+// and a live update adds a second pipeline mid-run — none of them can
+// shift another's fault sites).
 type Injector struct {
 	cfg Config
-	rng *rand.Rand
+	rng [NumClasses]*rand.Rand
 	ctr Counters
+}
+
+// splitmix is the SplitMix64 finalizer, used to spread correlated seeds
+// (consecutive integers, per-class offsets) into unrelated PRNG seeds.
+func splitmix(v int64) int64 {
+	z := uint64(v) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // New builds an injector for the configuration.
 func New(cfg Config) *Injector {
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed + 1))}
+	i := &Injector{cfg: cfg}
+	for class := range i.rng {
+		i.rng[class] = rand.New(rand.NewSource(splitmix(cfg.Seed + 1 + int64(class))))
+	}
+	return i
 }
 
 // Config returns the injector's configuration.
 func (i *Injector) Config() Config { return i.cfg }
+
+// Fork builds a new injector over Config.Fork(tag): same classes and
+// rates, unrelated streams, fully determined by this injector's seed.
+func (i *Injector) Fork(tag int64) *Injector { return New(i.cfg.Fork(tag)) }
 
 // Roll decides whether to inject one fault of the class now. Disabled
 // classes never draw from the PRNG, so the decision stream for the
@@ -234,17 +274,22 @@ func (i *Injector) Roll(class Class) bool {
 	if rate <= 0 {
 		return false
 	}
-	return i.rng.Float64() < rate
+	return i.rng[class].Float64() < rate
 }
 
-// Intn draws a fault-site index in [0, n); owners use it to pick the
-// victim register, bit, byte or entry deterministically.
-func (i *Injector) Intn(n int) int {
+// Intn draws a fault-site index in [0, n) from the class's stream;
+// owners use it to pick the victim register, bit, byte or entry
+// deterministically after a successful Roll of the same class.
+func (i *Injector) Intn(class Class, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	return i.rng.Intn(n)
+	return i.rng[class].Intn(n)
 }
+
+// Rand exposes the class's stream for owners that need more than an
+// index (the malformed-traffic damage functions take a *rand.Rand).
+func (i *Injector) Rand(class Class) *rand.Rand { return i.rng[class] }
 
 // Note records one applied fault of the class.
 func (i *Injector) Note(class Class) { i.ctr.ByClass[class]++ }
@@ -268,8 +313,8 @@ func (i *Injector) WrapTraffic(next func() []byte) func() []byte {
 		if !i.Roll(MalformedTraffic) {
 			return pkt
 		}
-		kind := pktgen.MalformKind(i.Intn(int(pktgen.NumMalformKinds)))
+		kind := pktgen.MalformKind(i.Intn(MalformedTraffic, int(pktgen.NumMalformKinds)))
 		i.Note(MalformedTraffic)
-		return pktgen.Malform(pkt, kind, i.rng)
+		return pktgen.Malform(pkt, kind, i.rng[MalformedTraffic])
 	}
 }

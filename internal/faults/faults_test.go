@@ -16,7 +16,7 @@ func TestRollDeterministic(t *testing.T) {
 		if a.Roll(class) != b.Roll(class) {
 			t.Fatalf("draw %d diverged between two injectors with the same seed", i)
 		}
-		if a.Intn(64) != b.Intn(64) {
+		if a.Intn(class, 64) != b.Intn(class, 64) {
 			t.Fatalf("site draw %d diverged between two injectors with the same seed", i)
 		}
 	}
@@ -124,14 +124,62 @@ func TestBurstLenDefault(t *testing.T) {
 func TestIntnBounds(t *testing.T) {
 	inj := New(Profile(1, 3))
 	for _, n := range []int{-1, 0, 1} {
-		if got := inj.Intn(n); got != 0 {
+		if got := inj.Intn(SEURegister, n); got != 0 {
 			t.Errorf("Intn(%d) = %d", n, got)
 		}
 	}
 	for i := 0; i < 1000; i++ {
-		if got := inj.Intn(8); got < 0 || got >= 8 {
+		if got := inj.Intn(SEUPacket, 8); got < 0 || got >= 8 {
 			t.Fatalf("Intn(8) = %d", got)
 		}
+	}
+}
+
+func TestClassStreamsAreIndependent(t *testing.T) {
+	// Drawing heavily on one class must not shift another class's
+	// sequence: the serving pipeline's fault sites stay put no matter
+	// how often other consumers (shell, shadow pipeline) roll.
+	cfg := Profile(1.0, 11)
+	quiet, noisy := New(cfg), New(cfg)
+	for i := 0; i < 5000; i++ {
+		noisy.Roll(QueueOverflow)
+		noisy.Intn(MalformedTraffic, 64)
+	}
+	for i := 0; i < 2000; i++ {
+		if quiet.Roll(SEURegister) != noisy.Roll(SEURegister) {
+			t.Fatalf("draw %d: register-SEU stream shifted by unrelated classes", i)
+		}
+		if quiet.Intn(SEUMapEntry, 64) != noisy.Intn(SEUMapEntry, 64) {
+			t.Fatalf("site %d: map-SEU stream shifted by unrelated classes", i)
+		}
+	}
+}
+
+func TestForkDivergesButStaysDeterministic(t *testing.T) {
+	cfg := Profile(1.0, 42)
+	forked := cfg.Fork(1)
+	if forked.Seed == cfg.Seed {
+		t.Fatal("fork kept the seed")
+	}
+	if forked.SEURegisterRate != cfg.SEURegisterRate || forked.FlushStormRate != cfg.FlushStormRate {
+		t.Fatal("fork changed the rates")
+	}
+	if cfg.Fork(1) != forked {
+		t.Fatal("same tag forked to a different configuration")
+	}
+	if cfg.Fork(2).Seed == forked.Seed {
+		t.Fatal("distinct tags forked to the same seed")
+	}
+
+	base, other := New(cfg), New(cfg).Fork(1)
+	same := true
+	for i := 0; i < 200; i++ {
+		if base.Roll(SEURegister) != other.Roll(SEURegister) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("200 draws identical between an injector and its fork")
 	}
 }
 

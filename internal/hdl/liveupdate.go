@@ -1,0 +1,79 @@
+package hdl
+
+import (
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+)
+
+// Live-update hardware pricing: what the hitless-update subsystem of
+// internal/liveupdate costs on the FPGA. The estimates follow the same
+// calibrated-primitive approach as the rest of the package:
+//
+//   - During the overlap window the old and the new pipeline both hold
+//     their map state on-chip, so every map's data words are
+//     double-buffered: a second BRAM copy per map, the dominant term of
+//     map-heavy designs.
+//   - Each map gains a migration DMA channel: a bulk-copy cursor that
+//     streams entries old-to-new under a per-cycle budget, plus the
+//     write tap that feeds the delta log.
+//   - One delta-log FIFO per design captures data-plane writes landing
+//     mid-copy (map tag + key digest per entry, replayed at the end).
+//   - The canary needs an ingress mirror tap and an outcome comparator
+//     diffing the shadow's verdict/bytes against the reference.
+//   - The reconfiguration controller sequences the stages: the update
+//     FSM, the drain sequencer with its backoff timer, and the atomic
+//     ingress switch mux in front of both pipelines.
+const (
+	migrateChannelLUTs = 140 // per-map bulk cursor + delta write tap
+	migrateChannelFFs  = 120
+
+	deltaLogEntries = 4096 // matches the controller's default DeltaLogCap
+	deltaLogBits    = 96   // 32-bit map tag + 64-bit key digest per entry
+
+	canaryLUTs = 480 // mirror tap + verdict/byte comparator
+	canaryFFs  = 260
+
+	reconfLUTs = 520 // update FSM + drain sequencer + ingress switch mux
+	reconfFFs  = 380
+)
+
+// EstimateLiveUpdate returns the incremental resources of making a
+// pipeline hot-swappable: double-buffered map storage, per-map
+// migration channels, the delta log, the canary tap and the
+// reconfiguration controller. A map-less pipeline still pays for the
+// controller and the canary path — swapping it is exactly the ingress
+// mux flip — but nothing per map.
+func EstimateLiveUpdate(p *core.Pipeline) Resources {
+	var r Resources
+	for i := range p.Maps {
+		mb := &p.Maps[i]
+		spec := mb.Spec
+
+		entryBits := (spec.KeySize + spec.ValueSize) * 8
+		if spec.Kind == ebpf.MapArray || spec.Kind == ebpf.MapDevMap {
+			entryBits = spec.ValueSize * 8
+		}
+		dataBits := entryBits * spec.MaxEntries
+
+		// The shadow pipeline's copy of the data words.
+		r.BRAM36 += (dataBits + 36*1024 - 1) / (36 * 1024)
+
+		r.LUTs += migrateChannelLUTs
+		r.FFs += migrateChannelFFs
+	}
+	if len(p.Maps) > 0 {
+		// The shared delta-log FIFO.
+		r.BRAM36 += (deltaLogEntries*deltaLogBits + 36*1024 - 1) / (36 * 1024)
+	}
+
+	r.LUTs += canaryLUTs + reconfLUTs
+	r.FFs += canaryFFs + reconfFFs
+	return r
+}
+
+// EstimateDesignUpdatable returns pipeline + shell + live-update
+// support: the price of a NIC whose function can be replaced without
+// dropping a packet.
+func EstimateDesignUpdatable(p *core.Pipeline) Resources {
+	return EstimateDesign(p).Add(EstimateLiveUpdate(p))
+}

@@ -228,6 +228,9 @@ func (s *Sim) execOp(j *job, op *core.Op, t int) error {
 		if isMap {
 			s.reencodeMapWrite(j, op.MapID)
 			j.commits++
+			if key, ok := j.lookupKey[op.MapID]; ok {
+				s.noteMapWrite(op.MapID, key, false)
+			}
 			isAtomicPrimitive := op.Kind == core.OpAtomic && !s.pl.Options.DisableAtomics
 			if !isAtomicPrimitive {
 				s.rawHazardCheck(j, op.MapID, t)
@@ -405,12 +408,14 @@ func (s *Sim) execMapCall(j *job, op *core.Op, t int) error {
 		s.preWriteShadowKey(j, op.MapID, string(key))
 		st.Regs[ebpf.R0] = s.exec.UpdateResult(op.MapID, key, val, flags)
 		j.commits++
+		s.noteMapWrite(op.MapID, string(key), false)
 		s.rawHazardCheckKey(j, op.MapID, string(key), t)
 
 	case ebpf.HelperMapDeleteElem:
 		s.preWriteShadowKey(j, op.MapID, string(key))
 		st.Regs[ebpf.R0] = s.exec.DeleteResult(op.MapID, key)
 		j.commits++
+		s.noteMapWrite(op.MapID, string(key), true)
 		s.rawHazardCheckKey(j, op.MapID, string(key), t)
 
 	default:

@@ -30,37 +30,37 @@ func (s *Sim) applyFaults() {
 	}
 
 	if inj.Roll(faults.SEURegister) && len(jobs) > 0 {
-		j := jobs[inj.Intn(len(jobs))]
+		j := jobs[inj.Intn(faults.SEURegister, len(jobs))]
 		// R0-R9 are carried pipeline registers; R10 is synthesised
 		// wiring, not a flip-flop.
-		reg := ebpf.Register(inj.Intn(10))
-		j.st.Regs[reg] ^= 1 << inj.Intn(64)
+		reg := ebpf.Register(inj.Intn(faults.SEURegister, 10))
+		j.st.Regs[reg] ^= 1 << inj.Intn(faults.SEURegister, 64)
 		s.noteFault(inj, faults.SEURegister)
 	}
 
 	if inj.Roll(faults.SEUStack) && len(jobs) > 0 {
-		j := jobs[inj.Intn(len(jobs))]
-		j.st.Stack[inj.Intn(ebpf.StackSize)] ^= 1 << inj.Intn(8)
+		j := jobs[inj.Intn(faults.SEUStack, len(jobs))]
+		j.st.Stack[inj.Intn(faults.SEUStack, ebpf.StackSize)] ^= 1 << inj.Intn(faults.SEUStack, 8)
 		s.noteFault(inj, faults.SEUStack)
 	}
 
 	if inj.Roll(faults.SEUPacket) && len(jobs) > 0 {
-		j := jobs[inj.Intn(len(jobs))]
+		j := jobs[inj.Intn(faults.SEUPacket, len(jobs))]
 		if data := j.st.Pkt.Bytes(); len(data) > 0 {
-			data[inj.Intn(len(data))] ^= 1 << inj.Intn(8)
+			data[inj.Intn(faults.SEUPacket, len(data))] ^= 1 << inj.Intn(faults.SEUPacket, 8)
 			s.noteFault(inj, faults.SEUPacket)
 		}
 	}
 
 	if inj.Roll(faults.SEUMapEntry) && s.env.Maps.Len() > 0 {
-		m, _ := s.env.Maps.ByID(inj.Intn(s.env.Maps.Len()))
+		m, _ := s.env.Maps.ByID(inj.Intn(faults.SEUMapEntry, s.env.Maps.Len()))
 		if n := m.Len(); n > 0 {
-			victim := inj.Intn(n)
+			victim := inj.Intn(faults.SEUMapEntry, n)
 			i := 0
 			m.Iterate(func(_, v []byte) bool {
 				if i == victim {
 					if len(v) > 0 {
-						v[inj.Intn(len(v))] ^= 1 << inj.Intn(8)
+						v[inj.Intn(faults.SEUMapEntry, len(v))] ^= 1 << inj.Intn(faults.SEUMapEntry, 8)
 						s.noteFault(inj, faults.SEUMapEntry)
 					}
 					return false
@@ -99,7 +99,7 @@ func (s *Sim) forceFlushStorm(inj *faults.Injector) {
 	if len(ids) == 0 {
 		return
 	}
-	mb := &s.pl.Maps[ids[inj.Intn(len(ids))]]
+	mb := &s.pl.Maps[ids[inj.Intn(faults.FlushStorm, len(ids))]]
 	writeStage := 0
 	for _, w := range mb.WriteStages {
 		if w > writeStage {

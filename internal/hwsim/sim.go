@@ -207,6 +207,81 @@ type Stats struct {
 	RecoveryBackoffCycles uint64
 }
 
+// Add returns the sum of two stats snapshots, field by field. The NIC
+// shell uses it to fold a retired pipeline's counters into the running
+// aggregate across a live update.
+func (s Stats) Add(o Stats) Stats {
+	out := s
+	out.Cycles += o.Cycles
+	out.Injected += o.Injected
+	out.Completed += o.Completed
+	out.QueueDrops += o.QueueDrops
+	out.Flushes += o.Flushes
+	out.FlushedPackets += o.FlushedPackets
+	out.StallCycles += o.StallCycles
+	out.LatencySum += o.LatencySum
+	if o.LatencyMax > out.LatencyMax {
+		out.LatencyMax = o.LatencyMax
+	}
+	out.Actions = map[ebpf.XDPAction]uint64{}
+	for a, n := range s.Actions {
+		out.Actions[a] += n
+	}
+	for a, n := range o.Actions {
+		out.Actions[a] += n
+	}
+	out.FaultsInjected += o.FaultsInjected
+	out.MalformedDropped += o.MalformedDropped
+	out.QueueOverflows += o.QueueOverflows
+	out.WatchdogTrips += o.WatchdogTrips
+	out.AbortedFaults += o.AbortedFaults
+	out.WordsChecked += o.WordsChecked
+	out.CorrectedWords += o.CorrectedWords
+	out.UncorrectableWords += o.UncorrectableWords
+	out.ScrubWords += o.ScrubWords
+	out.ScrubPasses += o.ScrubPasses
+	out.CheckpointsTaken += o.CheckpointsTaken
+	out.Recoveries += o.Recoveries
+	out.RecoveryAborted += o.RecoveryAborted
+	out.RecoveryBackoffCycles += o.RecoveryBackoffCycles
+	return out
+}
+
+// Delta returns the counters accumulated since the base snapshot
+// (LatencyMax carries over: it is a high-water mark, not a counter).
+func (s Stats) Delta(base Stats) Stats {
+	out := s
+	out.Cycles -= base.Cycles
+	out.Injected -= base.Injected
+	out.Completed -= base.Completed
+	out.QueueDrops -= base.QueueDrops
+	out.Flushes -= base.Flushes
+	out.FlushedPackets -= base.FlushedPackets
+	out.StallCycles -= base.StallCycles
+	out.LatencySum -= base.LatencySum
+	out.Actions = map[ebpf.XDPAction]uint64{}
+	for a, n := range s.Actions {
+		if d := n - base.Actions[a]; d > 0 {
+			out.Actions[a] = d
+		}
+	}
+	out.FaultsInjected -= base.FaultsInjected
+	out.MalformedDropped -= base.MalformedDropped
+	out.QueueOverflows -= base.QueueOverflows
+	out.WatchdogTrips -= base.WatchdogTrips
+	out.AbortedFaults -= base.AbortedFaults
+	out.WordsChecked -= base.WordsChecked
+	out.CorrectedWords -= base.CorrectedWords
+	out.UncorrectableWords -= base.UncorrectableWords
+	out.ScrubWords -= base.ScrubWords
+	out.ScrubPasses -= base.ScrubPasses
+	out.CheckpointsTaken -= base.CheckpointsTaken
+	out.Recoveries -= base.Recoveries
+	out.RecoveryAborted -= base.RecoveryAborted
+	out.RecoveryBackoffCycles -= base.RecoveryBackoffCycles
+	return out
+}
+
 // Mpps converts the completed-packet count to millions of packets per
 // second at the configured clock.
 func (s Stats) Mpps(clockHz float64) float64 {
@@ -353,7 +428,9 @@ type Sim struct {
 
 	stats      Stats
 	onComplete func(Result)
+	onMapWrite func(mapID int, key string, deleted bool)
 	keepData   bool
+	quiesced   bool
 
 	// probes is the observability surface, nil unless Config.Trace or
 	// Config.Metrics opted in (see trace.go).
@@ -419,10 +496,17 @@ func (s *Sim) Tracer() *obs.Tracer { return s.cfg.Trace }
 // Maps exposes the simulated NIC's map memory (the host interface).
 func (s *Sim) Maps() *maps.Set { return s.env.Maps }
 
-// Stats returns a copy of the counters so far.
+// Stats returns a copy of the counters so far. The Actions map is
+// deep-copied so the snapshot stays frozen (usable as a Delta base)
+// while the simulator keeps counting.
 func (s *Sim) Stats() Stats {
 	s.syncProtectionStats()
-	return s.stats
+	out := s.stats
+	out.Actions = make(map[ebpf.XDPAction]uint64, len(s.stats.Actions))
+	for a, n := range s.stats.Actions {
+		out.Actions[a] = n
+	}
+	return out
 }
 
 // Cycle returns the current clock cycle.
@@ -430,6 +514,21 @@ func (s *Sim) Cycle() uint64 { return s.cycle }
 
 // OnComplete registers a callback invoked as packets retire.
 func (s *Sim) OnComplete(fn func(Result)) { s.onComplete = fn }
+
+// OnMapWrite registers a callback invoked at every committed map
+// mutation — update and delete helpers as well as pointer stores and
+// atomics through a looked-up entry, which bypass the map's Update
+// method entirely. A live-update controller uses it as the delta log
+// feed: the (mapID, key) pair names the entry to re-copy; deleted marks
+// removals. Nil disables the hook.
+func (s *Sim) OnMapWrite(fn func(mapID int, key string, deleted bool)) { s.onMapWrite = fn }
+
+// noteMapWrite fires the OnMapWrite hook for one committed mutation.
+func (s *Sim) noteMapWrite(mapID int, key string, deleted bool) {
+	if s.onMapWrite != nil {
+		s.onMapWrite(mapID, key, deleted)
+	}
+}
 
 // KeepData makes results carry the final packet bytes.
 func (s *Sim) KeepData(keep bool) { s.keepData = keep }
@@ -439,9 +538,37 @@ func (s *Sim) InputFree() bool {
 	return len(s.queue) < s.cfg.queueDepth()
 }
 
+// Quiesce closes the ingress: Inject refuses every packet without
+// counting a drop (the frame is the caller's to hold, not lost), while
+// in-flight work keeps stepping to retirement. The cutover stage of a
+// live update quiesces the old pipeline so it drains to empty.
+func (s *Sim) Quiesce() { s.quiesced = true }
+
+// Resume reopens a quiesced ingress.
+func (s *Sim) Resume() { s.quiesced = false }
+
+// Quiesced reports whether the ingress is closed.
+func (s *Sim) Quiesced() bool { return s.quiesced }
+
+// Drained reports whether a pipeline has fully drained: no queued,
+// in-flight, or flush-recalled work remains.
+func (s *Sim) Drained() bool { return !s.Busy() }
+
+// Now returns the nanosecond clock visible to time helpers.
+func (s *Sim) Now() uint64 { return s.env.Now() }
+
+// NextSeq returns the sequence number the next accepted packet will
+// carry. Flush recall can retire packets out of injection order, so
+// consumers matching completions against injections (the live-update
+// canary) key by sequence number rather than FIFO position.
+func (s *Sim) NextSeq() uint64 { return s.seq }
+
 // Inject queues a packet for processing. It returns false (and counts a
-// drop) when the input queue is full.
+// drop) when the input queue is full, or silently when quiesced.
 func (s *Sim) Inject(data []byte) bool {
+	if s.quiesced {
+		return false
+	}
 	if !s.InputFree() {
 		s.stats.QueueDrops++
 		if !s.queueFull {

@@ -1,0 +1,518 @@
+// The acceptance surface of the hitless live update (external package:
+// the NIC shell imports liveupdate, so shell-level tests must sit
+// outside it):
+//
+//   - a mid-run update drops zero packets and the post-update data path
+//     is bit-for-bit the no-update control;
+//   - the migrated map state at the cutover point equals a reference
+//     interpreter fed exactly the packets the old pipeline served;
+//   - a corrupted shadow (SEU campaign) diverges in the canary and
+//     rolls back with the old pipeline's verdicts untouched;
+//   - schema incompatibilities and delta-log overflows roll back with
+//     typed errors;
+//   - a full chaos campaign with an update in the middle is
+//     byte-reproducible from its seed.
+package liveupdate_test
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/asm"
+	"ehdl/internal/conformance"
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/faults"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/liveupdate"
+	"ehdl/internal/nic"
+	"ehdl/internal/obs"
+	"ehdl/internal/pktgen"
+	"ehdl/internal/vm"
+)
+
+const testRate = 250e6 / 8 // one packet every 8 cycles at the default clock
+
+func firewallProg(t *testing.T) *ebpf.Program {
+	t.Helper()
+	app, ok := apps.ByName("firewall")
+	if !ok {
+		t.Fatal("firewall app missing")
+	}
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// firewallVariant reassembles the firewall with its conn declaration
+// rewritten.
+func firewallVariant(t *testing.T, oldDecl, newDecl string) *ebpf.Program {
+	t.Helper()
+	app, _ := apps.ByName("firewall")
+	src := strings.Replace(app.Source, oldDecl, newDecl, 1)
+	if src == app.Source {
+		t.Fatalf("declaration %q not found in firewall source", oldDecl)
+	}
+	prog, err := asm.Assemble("firewall-v2", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func firewallShell(t *testing.T, cfg nic.ShellConfig) *nic.Shell {
+	t.Helper()
+	pl, err := core.Compile(firewallProg(t), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := nic.New(pl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+// testTraffic returns a fresh, deterministic generator: few flows, so
+// the connection table sees both misses and established hits.
+func testTraffic() *pktgen.Generator {
+	return pktgen.NewGenerator(pktgen.GeneratorConfig{
+		Flows: 24, PacketLen: 64, Proto: ebpf.IPProtoUDP, Seed: 99,
+	})
+}
+
+// updateCfg is the baseline update: the same firewall recompiled, an
+// aggressive canary so short runs reach cutover quickly.
+func updateCfg(t *testing.T) liveupdate.Config {
+	return liveupdate.Config{
+		Prog:                firewallProg(t),
+		CanaryFrac:          1,
+		CanaryPackets:       8,
+		CanaryDeadlineTicks: 20000,
+		PostVerifyPackets:   32,
+	}
+}
+
+// runFirewall drives one 400-packet load, optionally with an update
+// scheduled after 100 packets.
+func runFirewall(t *testing.T, cfg nic.ShellConfig, upd *liveupdate.Config) (nic.Report, *nic.Shell) {
+	t.Helper()
+	sh := firewallShell(t, cfg)
+	if upd != nil {
+		if err := sh.ScheduleUpdate(100, *upd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := testTraffic()
+	rep, err := sh.RunLoad(gen.Next, 400, testRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, sh
+}
+
+// TestHitlessUpdateZeroLoss is the hitless proof: a mid-run self-update
+// (the firewall recompiled and swapped in) loses no packet, every
+// post-cutover verdict matches the reference interpreter, and the final
+// data-path state is bit-for-bit the no-update control run's.
+func TestHitlessUpdateZeroLoss(t *testing.T) {
+	ucfg := updateCfg(t)
+	repU, shU := runFirewall(t, nic.ShellConfig{}, &ucfg)
+	repC, shC := runFirewall(t, nic.ShellConfig{}, nil)
+
+	if repU.UpdatesAttempted != 1 || repU.UpdatesCompleted != 1 || repU.UpdatesRolledBack != 0 {
+		t.Fatalf("update outcome: attempted=%d completed=%d rolledback=%d (failure %q)",
+			repU.UpdatesAttempted, repU.UpdatesCompleted, repU.UpdatesRolledBack, repU.UpdateFailure)
+	}
+	if repU.UpdateStage != "done" {
+		t.Fatalf("final stage %q", repU.UpdateStage)
+	}
+	if repU.Lost != 0 {
+		t.Fatalf("update dropped %d packets", repU.Lost)
+	}
+	if repU.Received != repU.Sent {
+		t.Fatalf("received %d of %d sent", repU.Received, repU.Sent)
+	}
+	if repU.MigratedEntries == 0 {
+		t.Fatal("no map entries migrated")
+	}
+	if repU.CanariedPackets < 8 {
+		t.Fatalf("canaried %d packets, want >= 8", repU.CanariedPackets)
+	}
+	if repU.CanaryDivergences != 0 || repU.PostVerifyDivergences != 0 {
+		t.Fatalf("divergences: canary=%d post=%d", repU.CanaryDivergences, repU.PostVerifyDivergences)
+	}
+	if repU.PostVerifyChecked != 32 {
+		t.Fatalf("post-verify checked %d verdicts, want 32", repU.PostVerifyChecked)
+	}
+	if repU.HeldPackets == 0 {
+		t.Fatal("cutover held no packets (drain window never exercised)")
+	}
+
+	// The update must be invisible to the data path: same verdict
+	// distribution and bit-identical final map state as the control.
+	if !reflect.DeepEqual(repU.Actions, repC.Actions) {
+		t.Fatalf("verdicts diverged from control: %v vs %v", repU.Actions, repC.Actions)
+	}
+	if err := conformance.CompareMaps(shC.Maps(), shU.Maps()); err != nil {
+		t.Fatalf("final map state diverged from no-update control: %v", err)
+	}
+	if repC.Lost != 0 || repC.Received != repC.Sent {
+		t.Fatalf("control run unexpectedly lossy: lost=%d", repC.Lost)
+	}
+}
+
+// TestMigrationBitForBitAtCutover drives the controller by hand and
+// stops at the switch instant: the new pipeline's map state must equal
+// a reference interpreter fed exactly the packets the old pipeline
+// accepted — the migration (bulk copy + delta replay + cutover resync)
+// is exact, not approximate.
+func TestMigrationBitForBitAtCutover(t *testing.T) {
+	prog := firewallProg(t)
+	pl, err := core.Compile(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := hwsim.New(pl, hwsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.SetClock(func() uint64 { return 0 })
+
+	gen := testTraffic()
+	var accepted [][]byte
+	inject := func(pkt []byte) {
+		if old.Inject(pkt) {
+			accepted = append(accepted, pkt)
+		}
+	}
+
+	// Warm up the connection table.
+	for i := 0; i < 64; i++ {
+		for !old.InputFree() {
+			if err := old.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inject(gen.Next())
+		if err := old.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctrl, err := liveupdate.Begin(old, liveupdate.Config{
+		Prog:          firewallProg(t),
+		CanaryFrac:    1,
+		CanaryPackets: 4,
+	}, func() uint64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep traffic flowing while the update runs, exactly like the
+	// shell: offer to the controller first, inject otherwise.
+	var newSim *hwsim.Sim
+	for i := 0; ctrl.Active() && i < 1<<17; i++ {
+		pkt := gen.Next()
+		if !ctrl.OfferPacket(pkt) && old.Inject(pkt) {
+			accepted = append(accepted, pkt)
+			ctrl.NoteInjected(pkt)
+		}
+		if err := old.Step(); err != nil {
+			t.Fatal(err)
+		}
+		res := ctrl.Tick()
+		if res.Failed != nil {
+			t.Fatalf("update rolled back: %v", res.Failed)
+		}
+		if res.Switched != nil {
+			newSim = res.Switched
+			break
+		}
+	}
+	if newSim == nil {
+		t.Fatalf("update never cut over (stage %v)", ctrl.Stage())
+	}
+
+	// Control: the reference interpreter over exactly the accepted
+	// packets. vm <-> hwsim conformance makes it the authority for the
+	// old pipeline's drained state; migration exactness makes the new
+	// pipeline match it.
+	env, err := vm.NewEnv(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Now = func() uint64 { return 0 }
+	machine, err := vm.New(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pkt := range accepted {
+		if _, err := machine.Run(vm.NewPacket(append([]byte(nil), pkt...))); err != nil {
+			t.Fatalf("reference packet %d: %v", i, err)
+		}
+	}
+	if err := conformance.CompareMaps(env.Maps, newSim.Maps()); err != nil {
+		t.Fatalf("migrated state at cutover diverges from reference: %v", err)
+	}
+	if st := ctrl.Stats(); st.MigratedEntries == 0 {
+		t.Fatal("bulk copy migrated nothing")
+	}
+}
+
+// TestCanaryDivergenceRollsBack corrupts the shadow with an SEU
+// campaign: the canary must catch the divergence, roll back with a
+// typed error, and leave the old pipeline's verdicts and map state
+// exactly as a run that never attempted the update.
+func TestCanaryDivergenceRollsBack(t *testing.T) {
+	ucfg := updateCfg(t)
+	ucfg.Sim.Faults = faults.New(faults.Single(faults.SEUMapEntry, 0.5, 7))
+	repU, shU := runFirewall(t, nic.ShellConfig{}, &ucfg)
+	repC, shC := runFirewall(t, nic.ShellConfig{}, nil)
+
+	if repU.UpdatesRolledBack != 1 || repU.UpdatesCompleted != 0 {
+		t.Fatalf("outcome: completed=%d rolledback=%d stage=%q",
+			repU.UpdatesCompleted, repU.UpdatesRolledBack, repU.UpdateStage)
+	}
+	ctrl := shU.Update()
+	if ctrl == nil || ctrl.Err() == nil {
+		t.Fatal("no rollback report")
+	}
+	if !errors.Is(ctrl.Err(), liveupdate.ErrCanaryDiverged) {
+		t.Fatalf("rollback cause %v, want ErrCanaryDiverged", ctrl.Err())
+	}
+	if ctrl.Err().Stage != liveupdate.StageCanary {
+		t.Fatalf("failing stage %v, want canary", ctrl.Err().Stage)
+	}
+	if repU.UpdateFailure == "" {
+		t.Fatal("report carries no failure description")
+	}
+
+	// The rolled-back update must be invisible: the old pipeline served
+	// everything, bit-for-bit like the control.
+	if repU.Lost != 0 || repU.Received != repU.Sent {
+		t.Fatalf("rollback lost packets: lost=%d received=%d sent=%d",
+			repU.Lost, repU.Received, repU.Sent)
+	}
+	if !reflect.DeepEqual(repU.Actions, repC.Actions) {
+		t.Fatalf("verdicts diverged from control: %v vs %v", repU.Actions, repC.Actions)
+	}
+	if err := conformance.CompareMaps(shC.Maps(), shU.Maps()); err != nil {
+		t.Fatalf("old pipeline state diverged after rollback: %v", err)
+	}
+}
+
+// TestIncompatibleSchemaRollsBack widens conn's value width in the new
+// program: migration must refuse with a typed CompatError before
+// anything changes, and the run keeps serving on the old pipeline.
+func TestIncompatibleSchemaRollsBack(t *testing.T) {
+	ucfg := updateCfg(t)
+	ucfg.Prog = firewallVariant(t,
+		"map conn hash key=12 value=8", "map conn hash key=12 value=16")
+	rep, sh := runFirewall(t, nic.ShellConfig{}, &ucfg)
+
+	if rep.UpdatesAttempted != 1 || rep.UpdatesRolledBack != 1 {
+		t.Fatalf("outcome: attempted=%d rolledback=%d", rep.UpdatesAttempted, rep.UpdatesRolledBack)
+	}
+	if !strings.Contains(rep.UpdateFailure, "value_size") {
+		t.Fatalf("failure %q does not name the incompatible field", rep.UpdateFailure)
+	}
+	if rep.Lost != 0 || rep.Received != rep.Sent {
+		t.Fatalf("serving disturbed: lost=%d", rep.Lost)
+	}
+	if sh.Update() != nil {
+		t.Fatal("controller installed despite Begin failure")
+	}
+}
+
+// TestCompatTyped pins the typed-error contract of the schema checker.
+func TestCompatTyped(t *testing.T) {
+	base := ebpf.MapSpec{Name: "m", Kind: ebpf.MapHash, KeySize: 12, ValueSize: 8, MaxEntries: 64}
+	cases := []struct {
+		name  string
+		mut   func(s ebpf.MapSpec) ebpf.MapSpec
+		field string
+	}{
+		{"kind", func(s ebpf.MapSpec) ebpf.MapSpec { s.Kind = ebpf.MapLRUHash; return s }, "kind"},
+		{"key", func(s ebpf.MapSpec) ebpf.MapSpec { s.KeySize = 16; return s }, "key_size"},
+		{"value", func(s ebpf.MapSpec) ebpf.MapSpec { s.ValueSize = 16; return s }, "value_size"},
+		{"shrink", func(s ebpf.MapSpec) ebpf.MapSpec { s.MaxEntries = 32; return s }, "max_entries"},
+	}
+	for _, tc := range cases {
+		err := liveupdate.CheckCompat(base, tc.mut(base))
+		if !errors.Is(err, liveupdate.ErrIncompatible) {
+			t.Fatalf("%s: %v is not ErrIncompatible", tc.name, err)
+		}
+		var ce *liveupdate.CompatError
+		if !errors.As(err, &ce) || ce.Field != tc.field || ce.Map != "m" {
+			t.Fatalf("%s: CompatError %+v, want field %q", tc.name, ce, tc.field)
+		}
+	}
+	// Widening capacity is explicitly allowed.
+	wide := base
+	wide.MaxEntries = 128
+	if err := liveupdate.CheckCompat(base, wide); err != nil {
+		t.Fatalf("widened capacity refused: %v", err)
+	}
+	// Program-level sweep finds the same incompatibility.
+	if err := liveupdate.CheckPrograms(
+		mustProg(t, firewallProg(t)),
+		firewallVariant(t, "map conn hash key=12 value=8", "map conn lru_hash key=12 value=8"),
+	); !errors.Is(err, liveupdate.ErrIncompatible) {
+		t.Fatalf("CheckPrograms missed the kind change: %v", err)
+	}
+	if err := liveupdate.CheckPrograms(
+		mustProg(t, firewallProg(t)),
+		firewallVariant(t, "entries=16384", "entries=32768"),
+	); err != nil {
+		t.Fatalf("CheckPrograms refused a widened table: %v", err)
+	}
+}
+
+func mustProg(t *testing.T, p *ebpf.Program) *ebpf.Program {
+	t.Helper()
+	return p
+}
+
+// TestDeltaOverflowRollsBack starves the migration (one entry per tick,
+// a one-slot delta log) under live writes: the bounded log must
+// overflow and the update roll back without touching the data path.
+func TestDeltaOverflowRollsBack(t *testing.T) {
+	sh := firewallShell(t, nic.ShellConfig{})
+	gen := testTraffic()
+	// Build connection state first, without an update armed.
+	if _, err := sh.RunLoad(gen.Next, 64, testRate); err != nil {
+		t.Fatal(err)
+	}
+	ucfg := updateCfg(t)
+	ucfg.MigrateEntriesPerTick = 1
+	ucfg.DeltaLogCap = 1
+	if err := sh.ScheduleUpdate(0, ucfg); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sh.RunLoad(gen.Next, 200, 250e6/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UpdatesRolledBack != 1 {
+		t.Fatalf("outcome: rolledback=%d stage=%q failure=%q",
+			rep.UpdatesRolledBack, rep.UpdateStage, rep.UpdateFailure)
+	}
+	if !errors.Is(sh.Update().Err(), liveupdate.ErrDeltaOverflow) {
+		t.Fatalf("rollback cause %v, want ErrDeltaOverflow", sh.Update().Err())
+	}
+	if rep.Received != rep.Sent {
+		t.Fatalf("serving disturbed: received %d of %d", rep.Received, rep.Sent)
+	}
+}
+
+// TestChaosReplayDeterministic runs a full fault campaign — SEU,
+// malformed frames, overflow bursts, flush storms — with an update in
+// the middle, twice from the same seed: the reports and the final map
+// state must be byte-identical. This is the end-to-end proof of the
+// per-class RNG streams: the shadow's forked campaign cannot perturb
+// the serving pipeline's fault sites.
+func TestChaosReplayDeterministic(t *testing.T) {
+	run := func() (nic.Report, *nic.Shell) {
+		cfg := nic.ShellConfig{Faults: faults.Config{
+			Seed:            41,
+			SEURegisterRate: 0.0005,
+			SEUMapEntryRate: 0.001,
+			MalformRate:     0.01,
+			OverflowRate:    0.002,
+			FlushStormRate:  0.002,
+		}}
+		ucfg := updateCfg(t)
+		return runFirewall(t, cfg, &ucfg)
+	}
+	rep1, sh1 := run()
+	rep2, sh2 := run()
+	if !reflect.DeepEqual(rep1, rep2) {
+		t.Fatalf("chaos replay diverged:\n  run1: %+v\n  run2: %+v", rep1, rep2)
+	}
+	if err := conformance.CompareMaps(sh1.Maps(), sh2.Maps()); err != nil {
+		t.Fatalf("chaos replay map state diverged: %v", err)
+	}
+}
+
+// TestUpdateEventCoverage owns the two event classes the simulator
+// never emits itself (see conformance.TestEventClassCoverage): a clean
+// update emits KindUpdatePhase for every stage it traverses, and a
+// corrupted shadow emits KindCanaryDiverge before the rollback phase
+// event.
+func TestUpdateEventCoverage(t *testing.T) {
+	collect := func(mutate func(*liveupdate.Config)) []obs.Event {
+		sink := obs.NewMemSink()
+		ucfg := updateCfg(t)
+		ucfg.Trace = obs.NewTracer(1<<12, sink)
+		if mutate != nil {
+			mutate(&ucfg)
+		}
+		runFirewall(t, nic.ShellConfig{}, &ucfg)
+		return sink.Events()
+	}
+
+	stages := map[liveupdate.Stage]bool{}
+	for _, ev := range collect(nil) {
+		if ev.Kind == obs.KindUpdatePhase {
+			stages[liveupdate.Stage(ev.Aux)] = true
+		}
+	}
+	for _, want := range []liveupdate.Stage{
+		liveupdate.StageShadow, liveupdate.StageMigrate, liveupdate.StageCanary,
+		liveupdate.StageCutover, liveupdate.StagePostVerify, liveupdate.StageDone,
+	} {
+		if !stages[want] {
+			t.Errorf("clean update never emitted phase event for %v (saw %v)", want, stages)
+		}
+	}
+
+	diverged, rolledBack := false, false
+	for _, ev := range collect(func(c *liveupdate.Config) {
+		c.Sim.Faults = faults.New(faults.Single(faults.SEUMapEntry, 0.5, 7))
+	}) {
+		switch ev.Kind {
+		case obs.KindCanaryDiverge:
+			diverged = true
+		case obs.KindUpdatePhase:
+			if liveupdate.Stage(ev.Aux) == liveupdate.StageRolledBack {
+				rolledBack = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("SEU canary never emitted KindCanaryDiverge")
+	}
+	if !rolledBack {
+		t.Error("rollback never emitted its phase event")
+	}
+}
+
+// TestUpdateMetrics asserts the liveupdate.* instruments register and
+// count when a registry is attached.
+func TestUpdateMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	ucfg := updateCfg(t)
+	ucfg.Metrics = reg
+	rep, _ := runFirewall(t, nic.ShellConfig{}, &ucfg)
+	if rep.UpdatesCompleted != 1 {
+		t.Fatalf("update did not complete: %q", rep.UpdateFailure)
+	}
+	for name, want := range map[string]uint64{
+		liveupdate.MetricMigrated: rep.MigratedEntries,
+		liveupdate.MetricCanaried: rep.CanariedPackets,
+		liveupdate.MetricHeld:     rep.HeldPackets,
+	} {
+		if got, ok := reg.CounterValue(name); !ok || got != want {
+			t.Errorf("%s = %d (registered %v), report says %d", name, got, ok, want)
+		}
+	}
+	if h, ok := reg.HistogramByName(liveupdate.MetricMigrationTicks); !ok || h.Mean() <= 0 {
+		t.Error("migration-latency histogram never observed")
+	}
+}

@@ -1,0 +1,206 @@
+package liveupdate
+
+import (
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+)
+
+// CheckCompat decides whether state stored under the old declaration
+// can migrate into the new one. Maps are matched by name; a matched map
+// must keep its kind and its exact key and value widths (the hardware
+// layout of the BRAM words), and may not shrink below the old capacity
+// (live entries could not be guaranteed to fit). Widening capacity is
+// allowed — the double-buffered BRAM of the new design simply has more
+// rows.
+func CheckCompat(old, new ebpf.MapSpec) error {
+	if old.Kind != new.Kind {
+		return &CompatError{Map: old.Name, Field: "kind", Old: int(old.Kind), New: int(new.Kind)}
+	}
+	if old.KeySize != new.KeySize {
+		return &CompatError{Map: old.Name, Field: "key_size", Old: old.KeySize, New: new.KeySize}
+	}
+	if old.ValueSize != new.ValueSize {
+		return &CompatError{Map: old.Name, Field: "value_size", Old: old.ValueSize, New: new.ValueSize}
+	}
+	if new.MaxEntries < old.MaxEntries {
+		return &CompatError{Map: old.Name, Field: "max_entries", Old: old.MaxEntries, New: new.MaxEntries}
+	}
+	return nil
+}
+
+// CheckPrograms runs the compatibility check over every map the two
+// programs share by name and returns the first incompatibility. Maps
+// only the old program declares are dropped with their state; maps only
+// the new program declares start fresh from the host's setup.
+func CheckPrograms(old, new *ebpf.Program) error {
+	byName := make(map[string]ebpf.MapSpec, len(new.Maps))
+	for _, spec := range new.Maps {
+		byName[spec.Name] = spec
+	}
+	for _, spec := range old.Maps {
+		if ns, ok := byName[spec.Name]; ok {
+			if err := CheckCompat(spec, ns); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pair is one name-matched map migrating from the old pipeline into the
+// shadow (and its reference twin).
+type pair struct {
+	oldID  int
+	src    maps.Map
+	shadow maps.Map
+	ref    maps.Map
+}
+
+// plan is the compiled migration: which old maps land where.
+type plan struct {
+	pairs  []pair
+	byOld  map[int]*pair // old mapID -> pair, for delta-log replay
+	shared int           // matched maps
+}
+
+// buildPlan matches old maps by name into the shadow and reference sets
+// and runs the compatibility check on every match.
+func buildPlan(old, shadow, ref *maps.Set) (*plan, error) {
+	p := &plan{byOld: map[int]*pair{}}
+	for id := 0; id < old.Len(); id++ {
+		src, _ := old.ByID(id)
+		name := src.Spec().Name
+		dst, ok := shadow.ByName(name)
+		if !ok {
+			continue // dropped by the new program: state is discarded
+		}
+		if err := CheckCompat(src.Spec(), dst.Spec()); err != nil {
+			return nil, err
+		}
+		rdst, _ := ref.ByName(name)
+		p.pairs = append(p.pairs, pair{oldID: id, src: src, shadow: dst, ref: rdst})
+	}
+	for i := range p.pairs {
+		p.byOld[p.pairs[i].oldID] = &p.pairs[i]
+	}
+	p.shared = len(p.pairs)
+	return p, nil
+}
+
+// entry is one captured key/value destined for the shadow.
+type entry struct {
+	pair *pair
+	key  []byte
+	val  []byte
+}
+
+// capture deep-copies every matched entry in a deterministic order; the
+// bulk copy then drains this list under the per-tick budget while the
+// old pipeline keeps running.
+func (p *plan) capture() []entry {
+	var out []entry
+	for i := range p.pairs {
+		pr := &p.pairs[i]
+		pr.src.Iterate(func(k, v []byte) bool {
+			out = append(out, entry{
+				pair: pr,
+				key:  append([]byte(nil), k...),
+				val:  append([]byte(nil), v...),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// apply writes one entry into both destinations.
+func (e entry) apply() error {
+	if err := e.pair.shadow.Update(e.key, e.val, maps.UpdateAny); err != nil {
+		return err
+	}
+	if e.pair.ref != nil {
+		return e.pair.ref.Update(e.key, e.val, maps.UpdateAny)
+	}
+	return nil
+}
+
+// delta is one write the old pipeline committed while the bulk copy was
+// in flight: the key is re-read from the live map at replay time, so
+// several writes to one key collapse into the final value.
+type delta struct {
+	mapID   int
+	key     string
+	deleted bool
+}
+
+// replay applies one logged delta against the current old-map contents.
+func (p *plan) replay(d delta) error {
+	pr, ok := p.byOld[d.mapID]
+	if !ok {
+		return nil // unmatched map: its state does not migrate
+	}
+	key := []byte(d.key)
+	if v, live := pr.src.Lookup(key); live {
+		e := entry{pair: pr, key: key, val: append([]byte(nil), v...)}
+		return e.apply()
+	}
+	// Deleted (or deleted after a logged update): remove downstream.
+	for _, dst := range []maps.Map{pr.shadow, pr.ref} {
+		if dst == nil {
+			continue
+		}
+		if err := dst.Delete(key); err != nil && err != maps.ErrKeyNotExist {
+			return err
+		}
+	}
+	_ = d.deleted // the live lookup, not the logged kind, decides
+	return nil
+}
+
+// resync makes every matched destination map bit-identical to the
+// drained old pipeline's final state: stale destination entries are
+// deleted (array kinds are fully overwritten instead), then every
+// source entry is copied. This runs at cutover, after the old pipeline
+// drained, so the copied state is the authoritative final state.
+func (p *plan) resync() error {
+	for i := range p.pairs {
+		pr := &p.pairs[i]
+		for _, dst := range []maps.Map{pr.shadow, pr.ref} {
+			if dst == nil {
+				continue
+			}
+			if err := copyMap(pr.src, dst); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// copyMap overwrites dst with src's contents, entry for entry.
+func copyMap(src, dst maps.Map) error {
+	spec := dst.Spec()
+	if spec.Kind != ebpf.MapArray && spec.Kind != ebpf.MapDevMap {
+		var stale [][]byte
+		dst.Iterate(func(k, _ []byte) bool {
+			if _, ok := src.Lookup(k); !ok {
+				stale = append(stale, append([]byte(nil), k...))
+			}
+			return true
+		})
+		for _, k := range stale {
+			if err := dst.Delete(k); err != nil {
+				return err
+			}
+		}
+	}
+	var copyErr error
+	src.Iterate(func(k, v []byte) bool {
+		if err := dst.Update(k, v, maps.UpdateAny); err != nil {
+			copyErr = err
+			return false
+		}
+		return true
+	})
+	return copyErr
+}

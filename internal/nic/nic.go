@@ -13,6 +13,7 @@ import (
 	"ehdl/internal/ebpf"
 	"ehdl/internal/faults"
 	"ehdl/internal/hwsim"
+	"ehdl/internal/liveupdate"
 	"ehdl/internal/maps"
 	"ehdl/internal/obs"
 )
@@ -58,12 +59,27 @@ func (c ShellConfig) fifoCycles() int {
 	return c.FIFOCycles
 }
 
+// pendingUpdate is an armed-but-not-started live update.
+type pendingUpdate struct {
+	after int
+	cfg   liveupdate.Config
+}
+
 // Shell is one instantiated NIC.
 type Shell struct {
 	cfg ShellConfig
 	sim *hwsim.Sim
 	pl  *core.Pipeline
 	inj *faults.Injector
+
+	// Master clock state: helper-visible time survives pipeline swaps.
+	// cycleBase is the cycle count retired pipelines accumulated before
+	// the serving one took over; pinned, when set, freezes time (tests).
+	cycleBase uint64
+	pinned    *uint64
+
+	pending *pendingUpdate
+	ctrl    *liveupdate.Controller
 }
 
 // New builds a shell around a compiled pipeline with fresh maps.
@@ -89,7 +105,22 @@ func New(pl *core.Pipeline, cfg ShellConfig) (*Shell, error) {
 		// and host side meter the same objects.
 		maps.ObserveSet(sim.Maps(), cfg.Sim.Metrics)
 	}
-	return &Shell{cfg: cfg, sim: sim, pl: pl, inj: inj}, nil
+	sh := &Shell{cfg: cfg, sim: sim, pl: pl, inj: inj}
+	// The shell owns the helper-visible clock so it stays continuous
+	// across a live-update pipeline swap. With no swap and no pin the
+	// value is identical to the simulator's built-in cycle clock.
+	sh.sim.SetClock(sh.nowNs)
+	return sh, nil
+}
+
+// nowNs is the shell's master nanosecond clock: the cycles retired
+// pipelines accumulated plus the serving pipeline's, scaled by the
+// shell clock. PinClock overrides it with a fixed value.
+func (sh *Shell) nowNs() uint64 {
+	if sh.pinned != nil {
+		return *sh.pinned
+	}
+	return uint64(float64(sh.cycleBase+sh.sim.Cycle()) / sh.cfg.clockHz() * 1e9)
 }
 
 // Maps exposes the host-side map interface of the NIC.
@@ -178,6 +209,38 @@ type Report struct {
 	// BackpressureCycles counts cycles the input held while work was
 	// queued (hwsim.inject_backpressure_cycles).
 	BackpressureCycles uint64
+
+	// Live-update measurements (all zero unless ScheduleUpdate armed an
+	// update that began during this RunLoad).
+
+	// UpdatesAttempted, UpdatesCompleted and UpdatesRolledBack count
+	// update outcomes in this run (at most one update per run today).
+	UpdatesAttempted  uint64
+	UpdatesCompleted  uint64
+	UpdatesRolledBack uint64
+	// UpdateStage is the controller's final stage ("done",
+	// "rolled-back"); empty when no update ran.
+	UpdateStage string
+	// UpdateFailure describes the rollback (empty on success): the
+	// failing stage and the typed cause.
+	UpdateFailure string
+	// MigratedEntries and DeltaReplayed measure the state migration.
+	MigratedEntries uint64
+	DeltaReplayed   uint64
+	// CanariedPackets counts mirrored packets diffed against the
+	// reference interpreter; CanaryDivergences counts mismatches.
+	CanariedPackets   uint64
+	CanaryDivergences uint64
+	// HeldPackets counts arrivals buffered during the cutover drain (all
+	// of them released, never dropped).
+	HeldPackets uint64
+	// PostVerifyChecked and PostVerifyDivergences measure the bounded
+	// post-cutover conformance window.
+	PostVerifyChecked     uint64
+	PostVerifyDivergences uint64
+	// MigrationTicks and CutoverTicks are stage lengths in shell cycles.
+	MigrationTicks uint64
+	CutoverTicks   uint64
 }
 
 // LineRateMpps returns the port's packet rate for a frame size.
@@ -206,7 +269,10 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 		due       float64
 		bytesIn   uint64
 		bytesOut  uint64
+		acc       hwsim.Stats
 		startStat = sh.sim.Stats()
+		began     bool
+		beginErr  *liveupdate.UpdateError
 	)
 	rep.Actions = map[ebpf.XDPAction]uint64{}
 
@@ -216,7 +282,7 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 		next = sh.inj.WrapTraffic(next)
 	}
 
-	sh.sim.OnComplete(func(r hwsim.Result) {
+	dispatch := func(r hwsim.Result) {
 		rep.Received++
 		rep.Actions[r.Action]++
 		lat := (float64(r.LatencyCycles) + float64(sh.cfg.fifoCycles())) / clock * 1e9
@@ -224,19 +290,83 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 		if lat > rep.MaxLatencyNs {
 			rep.MaxLatencyNs = lat
 		}
-	})
-	defer sh.sim.OnComplete(nil)
+		if sh.ctrl != nil {
+			sh.ctrl.NoteCompletion(r)
+		}
+	}
+	sh.sim.OnComplete(dispatch)
+	defer func() { sh.sim.OnComplete(nil) }()
+
+	// release holds packets the update controller buffered during the
+	// cutover drain; they re-enter as the ingress queue frees, ahead of
+	// newer arrivals, so the update never drops or reorders a packet.
+	var release [][]byte
+	drainRelease := func() {
+		for len(release) > 0 && sh.sim.InputFree() {
+			pkt := release[0]
+			release = release[1:]
+			if sh.sim.Inject(pkt) {
+				bytesOut += uint64(len(pkt))
+				if sh.ctrl != nil {
+					sh.ctrl.NoteInjected(pkt)
+				}
+			}
+		}
+	}
+
+	// inject routes one generated arrival: the update controller may
+	// hold it during the cutover drain (it comes back via Release, never
+	// dropped), otherwise it goes to the serving pipeline — behind any
+	// released backlog, to preserve arrival order.
+	inject := func(pkt []byte) {
+		bytesIn += uint64(len(pkt))
+		if sh.ctrl != nil && sh.ctrl.OfferPacket(pkt) {
+			return
+		}
+		if len(release) > 0 {
+			release = append(release, pkt)
+			return
+		}
+		if sh.sim.Inject(pkt) {
+			bytesOut += uint64(len(pkt))
+			if sh.ctrl != nil {
+				sh.ctrl.NoteInjected(pkt)
+			}
+		}
+	}
 
 	endRegion := obs.Region(ctx, "drive")
 	extra := 0
-	for sent < count || sh.sim.Busy() {
+	for sent < count || sh.sim.Busy() || len(release) > 0 || (sh.ctrl != nil && sh.ctrl.Active()) {
+		// Arm the scheduled update once enough traffic was offered.
+		if sh.pending != nil && sent >= sh.pending.after {
+			p := sh.pending
+			sh.pending = nil
+			ucfg := p.cfg
+			ucfg.Sim.ClockHz = clock
+			if ucfg.Sim.Faults == nil && sh.inj != nil {
+				// The shadow runs its own forked fault campaign: same
+				// determinism, zero draws stolen from the serving
+				// pipeline's per-class streams.
+				ucfg.Sim.Faults = sh.inj.Fork(1)
+			}
+			rep.UpdatesAttempted++
+			began = true
+			ctrl, err := liveupdate.Begin(sh.sim, ucfg, sh.nowNs)
+			if err != nil {
+				rep.UpdatesRolledBack++
+				if ue, ok := err.(*liveupdate.UpdateError); ok {
+					beginErr = ue
+				} else {
+					beginErr = &liveupdate.UpdateError{Stage: liveupdate.StageShadow, Err: err}
+				}
+			} else {
+				sh.ctrl = ctrl
+			}
+		}
 		// Arrivals faster than the clock queue several packets per cycle.
 		for sent < count && due <= 0 {
-			pkt := next()
-			bytesIn += uint64(len(pkt))
-			if sh.sim.Inject(pkt) {
-				bytesOut += uint64(len(pkt))
-			}
+			inject(next())
 			sent++
 			due += cyclesPerPacket
 		}
@@ -246,11 +376,7 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 			// absorbs what it can and drops the rest — counted, never an
 			// error.
 			for i := 0; i < sh.inj.BurstLen(); i++ {
-				pkt := next()
-				bytesIn += uint64(len(pkt))
-				if sh.sim.Inject(pkt) {
-					bytesOut += uint64(len(pkt))
-				}
+				inject(next())
 				extra++
 			}
 			sh.inj.Note(faults.QueueOverflow)
@@ -259,30 +385,74 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 			endRegion()
 			return rep, err
 		}
+		if sh.ctrl != nil && sh.ctrl.Active() {
+			res := sh.ctrl.Tick()
+			if res.Switched != nil {
+				// Atomic cutover: fold the retired pipeline's counters into
+				// the aggregate, keep the master clock continuous, swap the
+				// ingress, and re-register the completion dispatcher.
+				acc = acc.Add(sh.sim.Stats().Delta(startStat))
+				sh.cycleBase += sh.sim.Cycle() - res.Switched.Cycle()
+				sh.sim = res.Switched
+				sh.sim.OnComplete(dispatch)
+				startStat = sh.sim.Stats()
+			}
+			// Held arrivals re-enter in order — into the new pipeline
+			// after a switch, back into the old one after a rollback —
+			// paced by the ingress queue so none is ever dropped.
+			release = append(release, res.Release...)
+		}
+		drainRelease()
 		due--
 	}
 	endRegion()
 
-	end := sh.sim.Stats()
-	rep.Cycles = end.Cycles - startStat.Cycles
+	end := acc.Add(sh.sim.Stats().Delta(startStat))
+	rep.Cycles = end.Cycles
 	rep.Sent = uint64(sent + extra)
-	rep.Lost = end.QueueDrops - startStat.QueueDrops
-	rep.Flushes = end.Flushes - startStat.Flushes
-	rep.FaultsInjected = end.FaultsInjected - startStat.FaultsInjected
-	rep.MalformedDropped = end.MalformedDropped - startStat.MalformedDropped
-	rep.QueueOverflows = end.QueueOverflows - startStat.QueueOverflows
-	rep.WatchdogTrips = end.WatchdogTrips - startStat.WatchdogTrips
-	rep.CorrectedWords = end.CorrectedWords - startStat.CorrectedWords
-	rep.UncorrectableWords = end.UncorrectableWords - startStat.UncorrectableWords
-	rep.ScrubPasses = end.ScrubPasses - startStat.ScrubPasses
-	rep.CheckpointsTaken = end.CheckpointsTaken - startStat.CheckpointsTaken
-	rep.Recoveries = end.Recoveries - startStat.Recoveries
-	rep.RecoveryAborted = end.RecoveryAborted - startStat.RecoveryAborted
-	rep.RecoveryBackoffCycles = end.RecoveryBackoffCycles - startStat.RecoveryBackoffCycles
+	rep.Lost = end.QueueDrops
+	rep.Flushes = end.Flushes
+	rep.FaultsInjected = end.FaultsInjected
+	rep.MalformedDropped = end.MalformedDropped
+	rep.QueueOverflows = end.QueueOverflows
+	rep.WatchdogTrips = end.WatchdogTrips
+	rep.CorrectedWords = end.CorrectedWords
+	rep.UncorrectableWords = end.UncorrectableWords
+	rep.ScrubPasses = end.ScrubPasses
+	rep.CheckpointsTaken = end.CheckpointsTaken
+	rep.Recoveries = end.Recoveries
+	rep.RecoveryAborted = end.RecoveryAborted
+	rep.RecoveryBackoffCycles = end.RecoveryBackoffCycles
 	if sh.inj != nil {
 		endFaults := sh.inj.Counters()
 		rep.MalformedSent = endFaults.ByClass[faults.MalformedTraffic] - startFaults.ByClass[faults.MalformedTraffic]
 		rep.OverflowBursts = endFaults.ByClass[faults.QueueOverflow] - startFaults.ByClass[faults.QueueOverflow]
+	}
+	if began {
+		if beginErr != nil {
+			rep.UpdateStage = liveupdate.StageRolledBack.String()
+			rep.UpdateFailure = beginErr.Error()
+		} else if st := sh.ctrl.Stats(); true {
+			rep.UpdateStage = st.Stage.String()
+			rep.MigratedEntries = st.MigratedEntries
+			rep.DeltaReplayed = st.DeltaReplayed
+			rep.CanariedPackets = st.CanariedPackets
+			rep.CanaryDivergences = st.CanaryDivergences
+			rep.HeldPackets = st.HeldPackets
+			rep.PostVerifyChecked = st.PostVerifyChecked
+			rep.PostVerifyDivergences = st.PostVerifyDivergences
+			rep.MigrationTicks = st.MigrationTicks
+			rep.CutoverTicks = st.CutoverTicks
+			switch st.Stage {
+			case liveupdate.StageDone:
+				rep.UpdatesCompleted++
+			case liveupdate.StageRolledBack:
+				rep.UpdatesRolledBack++
+				if ue := sh.ctrl.Err(); ue != nil {
+					rep.UpdateFailure = ue.Error()
+				}
+			}
+		}
 	}
 	seconds := float64(rep.Cycles) / clock
 	if seconds > 0 {
@@ -330,7 +500,30 @@ func (sh *Shell) SaturationMpps(next func() []byte, perStep int, startMpps, step
 	return best, nil
 }
 
-// PinClock fixes the helper-visible time (tests).
+// PinClock fixes the helper-visible time (tests). The pin rides the
+// shell's master clock, so it survives a live-update pipeline swap.
 func (sh *Shell) PinClock(now uint64) {
-	sh.sim.SetClock(func() uint64 { return now })
+	sh.pinned = &now
 }
+
+// ScheduleUpdate arms a hitless live update: once RunLoad has offered
+// `after` packets it begins the shadow/migrate/canary/cutover sequence
+// against the serving pipeline. The update either commits (the new
+// program serves all subsequent traffic, with the old pipeline's map
+// state migrated) or rolls back (the old pipeline never stopped
+// serving); either way no packet is dropped by the update itself.
+func (sh *Shell) ScheduleUpdate(after int, cfg liveupdate.Config) error {
+	if cfg.Prog == nil {
+		return fmt.Errorf("nic: live update needs a program")
+	}
+	if after < 0 {
+		return fmt.Errorf("nic: update trigger must be >= 0 packets")
+	}
+	sh.pending = &pendingUpdate{after: after, cfg: cfg}
+	sh.ctrl = nil
+	return nil
+}
+
+// Update exposes the last update's controller state (nil before any
+// update began).
+func (sh *Shell) Update() *liveupdate.Controller { return sh.ctrl }

@@ -67,6 +67,16 @@ const (
 	KindWatchdog
 	// KindFault marks an injected hardware fault. Aux: the fault class.
 	KindFault
+	// KindUpdatePhase marks a live-update stage transition. Aux: the
+	// stage entered (a liveupdate.Stage value). Aux2: a stage-specific
+	// detail — entries migrated entering canary, packets canaried
+	// entering cutover, held packets released at switch.
+	KindUpdatePhase
+	// KindCanaryDiverge marks a shadow-pipeline divergence from the
+	// reference during a live-update canary. Seq: the diverging packet's
+	// shadow sequence number. Aux: the mismatch class (verdict, packet
+	// bytes, map state).
+	KindCanaryDiverge
 
 	numKinds
 )
@@ -87,6 +97,9 @@ var kindNames = [numKinds]string{
 	KindRecovery:   "recovery",
 	KindWatchdog:   "watchdog",
 	KindFault:      "fault",
+
+	KindUpdatePhase:   "update_phase",
+	KindCanaryDiverge: "canary_diverge",
 }
 
 // String returns the canonical event-class name.
