@@ -1,19 +1,20 @@
 GO ?= go
 
-.PHONY: all build test short vet race chaos bench check cover ci trace fuzz-smoke
+.PHONY: all build test short vet race chaos bench check cover ci trace fuzz-smoke bench-baseline bench-check
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# The conformance suite, the observability layer and the live-update
-# controller rerun under the race detector even in the default gate:
-# the tracer, registry and update machinery are the pieces most likely
-# to grow cross-goroutine users.
+# The conformance suite, the observability layer, the live-update
+# controller and the multi-queue path (rss + nic) rerun under the race
+# detector even in the default gate: the tracer, registry, update
+# machinery and the dispatcher/worker/collector goroutines are the
+# pieces most likely to grow cross-goroutine users.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/
+	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/ ./internal/rss/ ./internal/nic/
 
 # Quick slice: skips the chaos campaign sweep and long fuzz runs.
 short:
@@ -31,27 +32,41 @@ race:
 chaos:
 	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience|Recovery|Protect' ./internal/...
 
-# Coverage gate for the self-healing subsystem and the observability
-# layer: the protection codecs, the simulator that hosts the recovery
-# machinery, and the tracer/metrics/profiling package must stay above
-# their floors (protect 90%, hwsim 75%, obs 85%).
+# Coverage gate for the self-healing subsystem, the observability
+# layer and the RSS dispatcher: the protection codecs, the simulator
+# that hosts the recovery machinery, the tracer/metrics/profiling
+# package and the multi-queue front end must stay above their floors
+# (protect 90%, hwsim 75%, obs 85%, rss 85%).
 cover:
-	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ | tee /tmp/ehdl-cover.txt
+	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ ./internal/rss/ | tee /tmp/ehdl-cover.txt
 	@awk '/internal\/protect/ { split($$5, a, "%"); if (a[1]+0 < 90) { print "FAIL: internal/protect coverage " a[1] "% < 90%"; exit 1 } } \
 	      /internal\/hwsim/   { split($$5, a, "%"); if (a[1]+0 < 75) { print "FAIL: internal/hwsim coverage " a[1] "% < 75%"; exit 1 } } \
-	      /internal\/obs/     { split($$5, a, "%"); if (a[1]+0 < 85) { print "FAIL: internal/obs coverage " a[1] "% < 85%"; exit 1 } }' /tmp/ehdl-cover.txt
+	      /internal\/obs/     { split($$5, a, "%"); if (a[1]+0 < 85) { print "FAIL: internal/obs coverage " a[1] "% < 85%"; exit 1 } } \
+	      /internal\/rss/     { split($$5, a, "%"); if (a[1]+0 < 85) { print "FAIL: internal/rss coverage " a[1] "% < 85%"; exit 1 } }' /tmp/ehdl-cover.txt
 	@echo "coverage gates passed"
 
-# Short fuzz sweeps over the two differential surfaces: the vm-vs-hwsim
-# conformance fuzzer and the migration schema/copy fuzzer. Ten seconds
-# each — a smoke pass over the corpus plus fresh mutations, not a
-# campaign.
+# Short fuzz sweeps over the three adversarial surfaces: the vm-vs-hwsim
+# conformance fuzzer, the migration schema/copy fuzzer and the RSS
+# dispatcher fuzzer (malformed/truncated frames against the Toeplitz
+# front end). Ten seconds each — a smoke pass over the corpus plus
+# fresh mutations, not a campaign.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/conformance/
 	$(GO) test -run '^$$' -fuzz FuzzMigrate -fuzztime 10s ./internal/liveupdate/
+	$(GO) test -run '^$$' -fuzz FuzzRSSDispatch -fuzztime 10s ./internal/rss/
+
+# Benchmark-regression harness. bench-baseline re-records the committed
+# baseline (do this deliberately, with the diff in review); bench-check
+# re-measures and fails if any gated simulated-Mpps point drops more
+# than 5% below BENCH_baseline.json.
+bench-baseline:
+	$(GO) run ./cmd/ehdl-bench -baseline-out BENCH_baseline.json
+
+bench-check:
+	$(GO) run ./cmd/ehdl-bench -baseline-check BENCH_baseline.json
 
 # The full gate a PR must clear.
-ci: vet build test race chaos cover fuzz-smoke
+ci: vet build test race chaos cover fuzz-smoke bench-check
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -386,12 +386,18 @@ func BenchmarkSimulatorCycleRate(b *testing.B) {
 	b.ReportMetric(float64(rep.Cycles), "sim-cycles")
 }
 
-// BenchmarkVMInterpreter measures the golden-model interpreter.
+// BenchmarkVMInterpreter measures the golden-model interpreter. Every
+// iteration mutates the firewall's connection map, so the measured
+// state is restored to the post-setup snapshot periodically — a long
+// -benchtime run must not time an ever-growing map.
 func BenchmarkVMInterpreter(b *testing.B) {
 	app := apps.Firewall()
 	prog := programFor(b, app)
 	env, err := vm.NewEnv(prog)
 	if err != nil {
+		b.Fatal(err)
+	}
+	if err := app.Setup(env.Maps); err != nil {
 		b.Fatal(err)
 	}
 	m, err := vm.New(prog, env)
@@ -400,11 +406,52 @@ func BenchmarkVMInterpreter(b *testing.B) {
 	}
 	gen := pktgen.NewGenerator(app.Traffic)
 	pkt := gen.Next()
+	clean := env.Maps.Snapshot()
+	const resetEvery = 4096
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if i > 0 && i%resetEvery == 0 {
+			b.StopTimer()
+			if err := env.Maps.Restore(clean); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
 		if _, err := m.Run(vm.NewPacket(pkt)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRSSScaling sweeps the multi-queue shell at 85% of the
+// replica fleet's aggregate capacity; the Mpps and speedup metrics are
+// the simulated-time figures the regression baseline also guards.
+func BenchmarkRSSScaling(b *testing.B) {
+	var base float64
+	for _, queues := range []int{1, 2, 4, 8} {
+		b.Run("q"+strconv.Itoa(queues), func(b *testing.B) {
+			cfg := nic.ShellConfig{Queues: queues, Sim: hwsim.Config{InputQueuePackets: 64}}
+			sh := shellFor(b, apps.Toy(), core.Options{}, cfg)
+			gen := pktgen.NewGenerator(apps.Toy().Traffic)
+			n := packetsForRun(b)
+			offered := 0.85 * 250e6 * float64(queues)
+			b.ResetTimer()
+			rep, err := sh.RunLoad(gen.Next, n, offered)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if rep.Lost > 0 {
+				b.Errorf("%d queues lost %d packets at 85%% aggregate load", queues, rep.Lost)
+			}
+			if queues == 1 {
+				base = rep.AchievedMpps
+			}
+			b.ReportMetric(rep.AchievedMpps, "Mpps")
+			if base > 0 {
+				b.ReportMetric(rep.AchievedMpps/base, "speedup")
+			}
+		})
 	}
 }
 

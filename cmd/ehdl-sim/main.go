@@ -7,6 +7,7 @@
 //	ehdl-sim -app firewall -packets 20000 -rate 148.8
 //	ehdl-sim -app leakybucket -replay caida
 //	ehdl-sim -app dnat -flows 8 -policy stall
+//	ehdl-sim -app firewall -queues 4 -rate 600
 //	ehdl-sim -app firewall -trace out.jsonl -metrics
 //	ehdl-sim -app router -cpuprofile cpu.out -pprof localhost:6060
 //	ehdl-sim -app firewall -update-prog leakybucket -update-after 5000
@@ -46,6 +47,8 @@ func run() int {
 		flows     = flag.Int("flows", 0, "flow count (0: application default)")
 		pktLen    = flag.Int("pktlen", 0, "packet size (0: application default)")
 		policy    = flag.String("policy", "flush", "RAW hazard policy: flush|stall")
+		queues    = flag.Int("queues", 1, "pipeline replicas behind the RSS dispatcher (1: classic single queue)")
+		batch     = flag.Int("batch", 0, "RSS dispatch batch size in packets (0: default 64; multi-queue only)")
 		replay    = flag.String("replay", "", "replay a synthetic trace profile instead: caida|mawi")
 		intensity = flag.Float64("faults", 0, "fault-injection intensity in (0,1]: SEUs, malformed frames, overflow bursts, flush storms")
 		faultSeed = flag.Int64("fault-seed", 1, "seed of the fault campaign (same seed: same fault sites)")
@@ -80,6 +83,14 @@ func run() int {
 		return usage(fmt.Errorf("-rate must be >= 0, got %g", *rate))
 	case *intensity < 0 || *intensity > 1:
 		return usage(fmt.Errorf("-faults must be in [0,1], got %g", *intensity))
+	case *queues < 1:
+		return usage(fmt.Errorf("-queues must be >= 1, got %d", *queues))
+	case *batch < 0:
+		return usage(fmt.Errorf("-batch must be >= 0, got %d", *batch))
+	case *batch > 0 && *queues == 1:
+		return usage(fmt.Errorf("-batch only applies to multi-queue runs (-queues >= 2)"))
+	case *queues > 1 && *canaryFrac != 0:
+		return usage(fmt.Errorf("multi-queue updates quiesce and swap the whole fleet; -canary-frac is single-queue only"))
 	case *replay != "" && (*flows > 0 || *pktLen > 0):
 		return usage(fmt.Errorf("-replay fixes the traffic profile; -flows/-pktlen only apply to generated traffic"))
 	case *updProg != "" && *updAfter < 0:
@@ -130,7 +141,7 @@ func run() int {
 		return fail(err)
 	}
 
-	cfg := nic.ShellConfig{}
+	cfg := nic.ShellConfig{Queues: *queues, Batch: *batch}
 	if *policy == "stall" {
 		cfg.Sim.Policy = hwsim.PolicyStall
 	}
@@ -256,6 +267,14 @@ func run() int {
 	fmt.Printf("  received:  %d of %d (lost at input: %d)\n", rep.Received, rep.Sent, rep.Lost)
 	fmt.Printf("  latency:   avg %.0f ns, max %.0f ns\n", rep.AvgLatencyNs, rep.MaxLatencyNs)
 	fmt.Printf("  flushes:   %d (%.0f/s)\n", rep.Flushes, rep.FlushesPerS)
+	if rep.QueueCount > 1 {
+		fmt.Printf("  queues:    %d replicas, %d fallback steers, %d merge conflicts\n",
+			rep.QueueCount, rep.SteerFallbacks, rep.MergeConflicts)
+		for _, qr := range rep.PerQueue {
+			fmt.Printf("    q%-2d steered %6d  received %6d  lost %4d  %8.2f Mpps\n",
+				qr.Queue, qr.Steered, qr.Received, qr.Lost, qr.AchievedMpps)
+		}
+	}
 	if inj := sh.Injector(); inj != nil {
 		fmt.Printf("  faults:    %s\n", inj.Counters())
 		fmt.Printf("             pipeline faults %d, malformed sent %d / hw-dropped %d\n",

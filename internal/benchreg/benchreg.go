@@ -1,0 +1,221 @@
+// Package benchreg is the benchmark-regression harness: it collects the
+// paper's headline performance numbers (Figure 9a throughput, Figure 9b
+// latency, Figure 10 resources, and the multi-queue scaling sweep) into
+// a committed JSON baseline, and checks a fresh collection against it.
+//
+// Every guarded number is a *simulated* quantity — packets per second of
+// simulated hardware time, FPGA resource percentages — so the baseline
+// is bit-reproducible on any host and a regression is always a code
+// change, never scheduler noise. Host-side wall-clock figures (the
+// actual parallel speedup of the multi-queue engine) are recorded next
+// to them for the record, prefixed "host/", and never gated.
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/hdl"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/nic"
+	"ehdl/internal/pktgen"
+)
+
+// DefaultPackets is the per-measurement-point packet count of the
+// committed baseline. Checks must use the same count: the drain tail is
+// amortised differently at different run lengths.
+const DefaultPackets = 6000
+
+// DefaultTolerancePct is the regression gate: simulated Mpps may not
+// drop more than this fraction below the baseline.
+const DefaultTolerancePct = 5.0
+
+// ScalingQueues is the queue sweep of the scale-out measurement.
+var ScalingQueues = []int{1, 2, 4, 8}
+
+// Baseline is one recorded measurement set.
+type Baseline struct {
+	// Schema versions the point naming; bump when keys change meaning.
+	Schema int `json:"schema"`
+	// Packets is the per-point packet count the measurements used.
+	Packets int `json:"packets"`
+	// NumCPU records the collecting host's core count: the "host/"
+	// points are only meaningful relative to it.
+	NumCPU int `json:"numcpu"`
+	// Points maps measurement names to values. Keys ending in "/mpps"
+	// are gated; "host/..." keys are informational.
+	Points map[string]float64 `json:"points"`
+}
+
+// Collect runs every guarded measurement.
+func Collect(packets int) (*Baseline, error) {
+	if packets <= 0 {
+		packets = DefaultPackets
+	}
+	b := &Baseline{
+		Schema:  1,
+		Packets: packets,
+		NumCPU:  runtime.NumCPU(),
+		Points:  map[string]float64{},
+	}
+
+	dev := hdl.AlveoU50()
+	for _, app := range apps.All() {
+		pl, err := compile(app)
+		if err != nil {
+			return nil, fmt.Errorf("benchreg: %s: %w", app.Name, err)
+		}
+
+		// Figure 9a: line-rate forwarding throughput.
+		rep, err := runLoad(pl, app, nic.ShellConfig{}, packets, 0)
+		if err != nil {
+			return nil, fmt.Errorf("benchreg: %s throughput: %w", app.Name, err)
+		}
+		b.Points["fig9a/"+app.Name+"/mpps"] = rep.AchievedMpps
+		b.Points["fig9a/"+app.Name+"/lost"] = float64(rep.Lost)
+
+		// Figure 9b: forwarding latency at a moderate offered rate.
+		rep, err = runLoad(pl, app, nic.ShellConfig{}, packets/2, 50e6)
+		if err != nil {
+			return nil, fmt.Errorf("benchreg: %s latency: %w", app.Name, err)
+		}
+		b.Points["fig9b/"+app.Name+"/latency_ns"] = rep.AvgLatencyNs
+
+		// Figure 10: device utilisation of the generated design.
+		pct := hdl.EstimateDesign(pl).PercentOf(dev)
+		b.Points["fig10/"+app.Name+"/lut_pct"] = pct.LUT
+		b.Points["fig10/"+app.Name+"/bram_pct"] = pct.BRAM
+	}
+
+	// Multi-queue scaling: the toy pipeline saturates one replica at
+	// 250 Mpps, so offering 85% of N replicas' aggregate capacity shows
+	// whether the fleet actually absorbs it. Simulated Mpps is the gated
+	// series; wall-clock packet rates ride along under "host/".
+	app, _ := apps.ByName("toy")
+	pl, err := compile(app)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: toy: %w", err)
+	}
+	simMpps := map[int]float64{}
+	hostMpps := map[int]float64{}
+	for _, q := range ScalingQueues {
+		cfg := nic.ShellConfig{Queues: q, Sim: hwsim.Config{InputQueuePackets: 64}}
+		offered := 0.85 * 250e6 * float64(q)
+		start := time.Now()
+		rep, err := runLoad(pl, app, cfg, packets, offered)
+		if err != nil {
+			return nil, fmt.Errorf("benchreg: scaling q%d: %w", q, err)
+		}
+		wall := time.Since(start).Seconds()
+		simMpps[q] = rep.AchievedMpps
+		b.Points[fmt.Sprintf("scaling/toy/q%d/mpps", q)] = rep.AchievedMpps
+		b.Points[fmt.Sprintf("scaling/toy/q%d/lost", q)] = float64(rep.Lost)
+		if wall > 0 {
+			hostMpps[q] = float64(rep.Received) / wall / 1e6
+			b.Points[fmt.Sprintf("host/scaling/toy/q%d/mpps", q)] = hostMpps[q]
+		}
+	}
+	if simMpps[1] > 0 {
+		b.Points["scaling/toy/speedup_4q"] = simMpps[4] / simMpps[1]
+	}
+	if hostMpps[1] > 0 {
+		b.Points["host/scaling/toy/speedup_4q"] = hostMpps[4] / hostMpps[1]
+	}
+	return b, nil
+}
+
+// Compare checks a fresh collection against a baseline and returns one
+// message per regression: any "/mpps"-suffixed simulated point more
+// than tolerancePct below its recorded value, or a recorded point that
+// vanished. Improvements and informational points never fail.
+func Compare(base, cur *Baseline, tolerancePct float64) []string {
+	if tolerancePct <= 0 {
+		tolerancePct = DefaultTolerancePct
+	}
+	var regressions []string
+	if base.Packets != cur.Packets {
+		regressions = append(regressions,
+			fmt.Sprintf("packet counts differ (baseline %d, current %d): measurements are not comparable", base.Packets, cur.Packets))
+		return regressions
+	}
+	keys := make([]string, 0, len(base.Points))
+	for k := range base.Points {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if strings.HasPrefix(k, "host/") || !strings.HasSuffix(k, "/mpps") {
+			continue
+		}
+		want := base.Points[k]
+		got, ok := cur.Points[k]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: measurement disappeared (baseline %.3f)", k, want))
+			continue
+		}
+		floor := want * (1 - tolerancePct/100)
+		if got < floor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.3f Mpps is %.1f%% below the baseline %.3f", k, got, 100*(want-got)/want, want))
+		}
+	}
+	return regressions
+}
+
+// Save writes the baseline as indented JSON.
+func Save(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a baseline file.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("benchreg: %s: %w", path, err)
+	}
+	if b.Points == nil {
+		return nil, fmt.Errorf("benchreg: %s: no points recorded", path)
+	}
+	return &b, nil
+}
+
+func compile(app *apps.App) (*core.Pipeline, error) {
+	prog, err := app.Program()
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(prog, core.Options{})
+}
+
+// runLoad builds a fresh shell (fresh map state — measurements must not
+// inherit a previous point's entries) and drives one load. offered 0
+// means line rate for 64-byte frames.
+func runLoad(pl *core.Pipeline, app *apps.App, cfg nic.ShellConfig, packets int, offered float64) (nic.Report, error) {
+	sh, err := nic.New(pl, cfg)
+	if err != nil {
+		return nic.Report{}, err
+	}
+	if err := app.Setup(sh.Maps()); err != nil {
+		return nic.Report{}, err
+	}
+	if offered <= 0 {
+		offered = sh.LineRateMpps(64) * 1e6
+	}
+	gen := pktgen.NewGenerator(app.Traffic)
+	return sh.RunLoad(gen.Next, packets, offered)
+}

@@ -79,6 +79,9 @@ func TestEventClassCoverage(t *testing.T) {
 		RecoveryBackoffCycles: 16,
 	}))
 
+	// A traced multi-queue dispatcher: RSS queue-steer decisions.
+	collect(queueSteerEvents(t))
+
 	for _, k := range obs.Kinds() {
 		switch k {
 		case obs.KindUpdatePhase, obs.KindCanaryDiverge:

@@ -1,0 +1,200 @@
+package conformance
+
+import (
+	"testing"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/maps"
+	"ehdl/internal/obs"
+	"ehdl/internal/pktgen"
+	"ehdl/internal/rss"
+)
+
+// multiQueueRun pushes packets through an rss.Engine at the given queue
+// count with the helper clock pinned to zero (matching the rest of the
+// suite) and payload retention on, and returns the outcomes indexed by
+// global arrival sequence plus the session stats and the merged host
+// map view.
+func multiQueueRun(t *testing.T, app *apps.App, packets [][]byte, queues int) ([]Outcome, rss.RunStats, *maps.Set) {
+	t.Helper()
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.Compile(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := rss.NewEngine(pl, rss.Config{Queues: queues})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetClock(func() uint64 { return 0 })
+	e.KeepData(true)
+	if app.SetupHost != nil {
+		if err := app.SetupHost(e.HostMaps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	outs := make([]Outcome, len(packets))
+	seen := make([]bool, len(packets))
+	completed := 0
+	err = e.Start(1, func(c rss.Completion) {
+		if c.Seq < uint64(len(outs)) && !seen[c.Seq] {
+			seen[c.Seq] = true
+			outs[c.Seq] = Outcome{
+				Action:          c.Res.Action,
+				RedirectIfindex: c.Res.RedirectIfindex,
+				Data:            c.Res.Data,
+			}
+			completed++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range packets {
+		e.Offer(p)
+	}
+	rs, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != len(packets) {
+		t.Fatalf("%d queues: %d of %d packets completed", queues, completed, len(packets))
+	}
+	return outs, rs, e.HostMaps()
+}
+
+// TestRSSFlowConformance is the scale-out contract: for every
+// application, the multi-queue engine at 1, 2, 4 and 8 queues must be
+// observationally identical to the single-pipeline simulator on the
+// same traffic — per-packet verdicts, redirect targets and rewritten
+// bytes match arrival by arrival (which subsumes per-flow sequence
+// identity, since flows are pinned to queues and per-queue order is
+// preserved), and the merged per-CPU-style map state equals the
+// single-pipeline final state entry for entry: counters sum to equal
+// totals, flow tables union without conflict.
+func TestRSSFlowConformance(t *testing.T) {
+	for _, app := range AllApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			cfg := app.Traffic
+			if cfg.Flows < 32 {
+				// Enough distinct 5-tuples that every indirection bucket
+				// class is exercised and all queues see traffic.
+				cfg.Flows = 32
+			}
+			cfg.Seed = 0x55aa
+			packets := pktgen.NewGenerator(cfg).Batch(240)
+
+			prog, err := app.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, baseMaps, err := runPipeline(prog, app.SetupHost, packets, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, queues := range []int{1, 2, 4, 8} {
+				outs, rs, merged := multiQueueRun(t, app, packets, queues)
+				if rs.MergeConflicts != 0 {
+					t.Fatalf("%d queues: %d merge conflicts (flow pinning violated)", queues, rs.MergeConflicts)
+				}
+				var steered uint64
+				active := 0
+				for _, qs := range rs.PerQueue {
+					steered += qs.Steered
+					if qs.Steered > 0 {
+						active++
+					}
+				}
+				if steered != uint64(len(packets)) {
+					t.Fatalf("%d queues: steered %d of %d arrivals", queues, steered, len(packets))
+				}
+				if queues > 1 && active < 2 {
+					t.Fatalf("%d queues: traffic collapsed onto %d queue(s)", queues, active)
+				}
+				for i := range packets {
+					if err := CompareOutcome(outs[i], base[i]); err != nil {
+						flow, _ := pktgen.ParseFlow(packets[i])
+						t.Fatalf("%d queues: packet %d (flow %+v): %v", queues, i, flow, err)
+					}
+				}
+				if err := CompareMaps(baseMaps, merged); err != nil {
+					t.Fatalf("%d queues: merged state: %v", queues, err)
+				}
+			}
+		})
+	}
+}
+
+// queueSteerEvents drives a short multi-queue load with a traced
+// dispatcher: every arrival emits one KindQueueSteer event, including
+// the queue-0 fallback for a malformed frame.
+func queueSteerEvents(t *testing.T) []obs.Event {
+	t.Helper()
+	app := mustApp(t, "toy")
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.Compile(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, sink := memTracer()
+	e, err := rss.NewEngine(pl, rss.Config{Queues: 2, Sim: hwsim.Config{Trace: tr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetClock(func() uint64 { return 0 })
+	if app.SetupHost != nil {
+		if err := app.SetupHost(e.HostMaps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Start(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	gen := pktgen.NewGenerator(pktgen.GeneratorConfig{Flows: 8, PacketLen: 64, Seed: 21})
+	for i := 0; i < 16; i++ {
+		e.Offer(gen.Next())
+	}
+	e.Offer([]byte{1, 2, 3}) // malformed: queue-0 fallback, hash 0
+	if _, err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return sink.Events()
+}
+
+// TestQueueSteerEvents checks the steer event contract: one event per
+// arrival, sequential global Seq, queue in range in Aux, and the
+// malformed fallback recorded as queue 0 with hash 0.
+func TestQueueSteerEvents(t *testing.T) {
+	var steers []obs.Event
+	for _, ev := range queueSteerEvents(t) {
+		if ev.Kind == obs.KindQueueSteer {
+			steers = append(steers, ev)
+		}
+	}
+	if len(steers) != 17 {
+		t.Fatalf("%d steer events, want 17 (one per arrival)", len(steers))
+	}
+	for i, ev := range steers {
+		if ev.Seq != int64(i) {
+			t.Fatalf("steer %d carries Seq %d, want the global arrival index", i, ev.Seq)
+		}
+		if ev.Aux >= 2 {
+			t.Fatalf("steer %d names queue %d of a 2-queue engine", i, ev.Aux)
+		}
+	}
+	last := steers[len(steers)-1]
+	if last.Aux != 0 || last.Aux2 != 0 {
+		t.Fatalf("malformed frame steered to queue %d hash %#x, want the queue-0/hash-0 fallback", last.Aux, last.Aux2)
+	}
+}

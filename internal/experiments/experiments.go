@@ -109,6 +109,7 @@ func All() map[string]Runner {
 		"resilience":  Resilience,
 		"protection":  ProtectionAblation,
 		"liveupdate":  LiveUpdateUnderLoad,
+		"scaling":     Scaling,
 	}
 }
 

@@ -357,3 +357,29 @@ func TestLoadBalancerDemo(t *testing.T) {
 		}
 	}
 }
+
+func TestScalingShape(t *testing.T) {
+	tab := run(t, "scaling")
+	if len(tab.Rows) != len(ScalingQueues) {
+		t.Fatalf("rows = %d, want %d queue points", len(tab.Rows), len(ScalingQueues))
+	}
+	base := cellF(t, tab, 0, "Achieved Mpps")
+	baseLUT := cellF(t, tab, 0, "fw LUT%")
+	for i, q := range ScalingQueues {
+		if got := cellF(t, tab, i, "Queues"); got != float64(q) {
+			t.Fatalf("row %d covers %v queues, want %d", i, got, q)
+		}
+		if lost := cellF(t, tab, i, "Lost"); lost != 0 {
+			t.Errorf("q%d: lost %v packets at 85%% aggregate load", q, lost)
+		}
+		if lut := cellF(t, tab, i, "fw LUT%"); lut < baseLUT {
+			t.Errorf("q%d: replicated design costs %.1f%% LUTs, below the single-queue %.1f%%", q, lut, baseLUT)
+		}
+	}
+	if sp := cellF(t, tab, 2, "Achieved Mpps") / base; sp < 2.5 {
+		t.Errorf("4-queue speedup %.2fx in simulated time, want >= 2.5x", sp)
+	}
+	if active := cellF(t, tab, 3, "Active"); active < 2 {
+		t.Errorf("8 queues but only %v active", active)
+	}
+}

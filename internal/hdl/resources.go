@@ -90,6 +90,17 @@ const bramThresholdBytes = 192
 // alone (no shell), the quantity the Section 5.4 pruning ablation
 // reports.
 func EstimatePipeline(p *core.Pipeline) Resources {
+	r := estimateStageLogic(p)
+	for i := range p.Maps {
+		r = r.Add(mapBlockCost(&p.Maps[i]))
+	}
+	return r
+}
+
+// estimateStageLogic prices the per-stage datapath — everything except
+// the map blocks. This is the part a multi-queue deployment stamps out
+// once per replica, while maps follow their sharing class (replicate.go).
+func estimateStageLogic(p *core.Pipeline) Resources {
 	var r Resources
 
 	frame := p.Options.FrameBytes
@@ -127,10 +138,6 @@ func EstimatePipeline(p *core.Pipeline) Resources {
 		}
 	}
 	r.BRAM36 += (stackBRAMBits + 36*1024 - 1) / (36 * 1024)
-
-	for i := range p.Maps {
-		r = r.Add(mapBlockCost(&p.Maps[i]))
-	}
 	return r
 }
 

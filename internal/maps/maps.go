@@ -95,6 +95,19 @@ func NewSet(prog *ebpf.Program) (*Set, error) {
 	return s, nil
 }
 
+// SetOf assembles a set from pre-built maps in declaration order. The
+// multi-queue RSS engine uses it to compose per-replica sets that mix
+// shared read-only instances with per-queue banks, and to expose the
+// merged host view, without re-instantiating maps from the program.
+func SetOf(ms ...Map) *Set {
+	s := &Set{byName: make(map[string]Map, len(ms))}
+	for _, m := range ms {
+		s.byName[m.Spec().Name] = m
+		s.byID = append(s.byID, m)
+	}
+	return s
+}
+
 // ByName returns the named map.
 func (s *Set) ByName(name string) (Map, bool) {
 	m, ok := s.byName[name]

@@ -1,0 +1,237 @@
+package nic
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/faults"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/liveupdate"
+	"ehdl/internal/maps"
+	"ehdl/internal/pktgen"
+)
+
+func TestMultiQueueRunLoad(t *testing.T) {
+	const count = 2000
+	sh := newShell(t, apps.Toy(), core.Options{}, ShellConfig{Queues: 4, Sim: hwsim.Config{InputQueuePackets: 64}})
+	if sh.Sim() != nil {
+		t.Fatal("multi-queue shell should not expose a single simulator")
+	}
+	if sh.Engine() == nil || sh.Engine().Queues() != 4 {
+		t.Fatal("multi-queue shell should expose a 4-replica engine")
+	}
+	gen := pktgen.NewGenerator(apps.Toy().Traffic)
+	rep, err := sh.RunLoad(gen.Next, count, sh.LineRateMpps(64)*1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.QueueCount != 4 || len(rep.PerQueue) != 4 {
+		t.Fatalf("queue breakdown missing: count %d, %d entries", rep.QueueCount, len(rep.PerQueue))
+	}
+	var steered, received uint64
+	active := 0
+	for _, qr := range rep.PerQueue {
+		steered += qr.Steered
+		received += qr.Received
+		if qr.Steered > 0 {
+			active++
+			if qr.AchievedMpps <= 0 {
+				t.Errorf("queue %d served traffic at %.2f Mpps", qr.Queue, qr.AchievedMpps)
+			}
+		}
+	}
+	if steered != rep.Sent {
+		t.Errorf("steered %d of %d sent", steered, rep.Sent)
+	}
+	if active < 2 {
+		t.Errorf("1024 flows collapsed onto %d queue(s)", active)
+	}
+	if received != rep.Received || rep.Received != count || rep.Lost != 0 {
+		t.Errorf("accounting: received %d (per-queue %d), lost %d, want %d clean", rep.Received, received, rep.Lost, count)
+	}
+	if rep.MergeConflicts != 0 {
+		t.Errorf("%d merge conflicts on flow-pinned traffic", rep.MergeConflicts)
+	}
+	if rep.Actions[ebpf.XDPTx] != count {
+		t.Errorf("actions = %v, want %d XDP_TX", rep.Actions, count)
+	}
+	if rep.AvgLatencyNs <= 0 || rep.MaxLatencyNs < rep.AvgLatencyNs {
+		t.Errorf("latency accounting broken: avg %.0f ns, max %.0f ns", rep.AvgLatencyNs, rep.MaxLatencyNs)
+	}
+
+	// The merged host view must account for every packet: the toy app
+	// counts IPv4 frames in stats[1].
+	stats, ok := sh.Maps().ByName("stats")
+	if !ok {
+		t.Fatal("no stats map")
+	}
+	v, ok := stats.Lookup([]byte{1, 0, 0, 0})
+	if !ok {
+		t.Fatal("stats[1] missing")
+	}
+	if got := binary.LittleEndian.Uint64(v); got != count {
+		t.Errorf("merged counter %d, want %d", got, count)
+	}
+}
+
+// TestMultiQueueSpeedup is the scale-out headline in simulated time: a
+// single 250 MHz pipeline saturates at 250 Mpps, so at 750 Mpps offered
+// it drops and achieves a third of the load, while four replicas split
+// the same stream into per-queue rates they sustain cleanly. The
+// speedup is measured in simulated cycles, so it holds on any host —
+// including the single-CPU CI runner.
+func TestMultiQueueSpeedup(t *testing.T) {
+	const count = 6000
+	const offered = 750e6
+	run := func(queues int) Report {
+		sh := newShell(t, apps.Toy(), core.Options{}, ShellConfig{Queues: queues, Sim: hwsim.Config{InputQueuePackets: 64}})
+		gen := pktgen.NewGenerator(apps.Toy().Traffic)
+		rep, err := sh.RunLoad(gen.Next, count, offered)
+		if err != nil {
+			t.Fatalf("%d queues: %v", queues, err)
+		}
+		return rep
+	}
+	single := run(1)
+	quad := run(4)
+	if single.Lost == 0 {
+		t.Error("a single queue should overflow at 3x its line rate")
+	}
+	if quad.Lost != 0 {
+		t.Errorf("4 queues lost %d packets at a quarter of the per-queue load", quad.Lost)
+	}
+	if speedup := quad.AchievedMpps / single.AchievedMpps; speedup < 2.5 {
+		t.Errorf("speedup %.2fx (%.0f vs %.0f Mpps), want >= 2.5x",
+			speedup, quad.AchievedMpps, single.AchievedMpps)
+	}
+}
+
+// TestMultiQueueUpdateSwap: a scheduled live update on a multi-queue
+// shell drains every replica, migrates the merged state into the new
+// banks and swaps the fleet atomically — and the per-flow counters keep
+// counting across the swap without losing a packet.
+func TestMultiQueueUpdateSwap(t *testing.T) {
+	const count = 1200
+	app := apps.Toy()
+	sh := newShell(t, app, core.Options{}, ShellConfig{Queues: 4, Sim: hwsim.Config{InputQueuePackets: 64}})
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.ScheduleUpdate(count/2, liveupdate.Config{Prog: prog, Setup: app.SetupHost}); err != nil {
+		t.Fatal(err)
+	}
+	gen := pktgen.NewGenerator(app.Traffic)
+	rep, err := sh.RunLoad(gen.Next, count, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UpdatesAttempted != 1 || rep.UpdatesCompleted != 1 {
+		t.Fatalf("update attempted %d completed %d, want 1/1", rep.UpdatesAttempted, rep.UpdatesCompleted)
+	}
+	if rep.UpdateStage != liveupdate.StageDone.String() {
+		t.Errorf("update stage %q, want done", rep.UpdateStage)
+	}
+	if rep.MigratedEntries == 0 {
+		t.Error("swap migrated no map state")
+	}
+	if rep.Received != rep.Sent || rep.Lost != 0 {
+		t.Errorf("update dropped traffic: received %d of %d, lost %d", rep.Received, rep.Sent, rep.Lost)
+	}
+	stats, _ := sh.Maps().ByName("stats")
+	v, ok := stats.Lookup([]byte{1, 0, 0, 0})
+	if !ok {
+		t.Fatal("stats[1] missing after swap")
+	}
+	if got := binary.LittleEndian.Uint64(v); got != uint64(count) {
+		t.Errorf("counter across swap = %d, want %d (migrated + post-swap)", got, count)
+	}
+}
+
+// TestMultiQueueUpdateRollback: a failing update (its host setup
+// errors) must roll back to the old replica fleet with state intact and
+// keep serving every packet.
+func TestMultiQueueUpdateRollback(t *testing.T) {
+	const count = 1000
+	app := apps.Toy()
+	sh := newShell(t, app, core.Options{}, ShellConfig{Queues: 2, Sim: hwsim.Config{InputQueuePackets: 64}})
+	old := sh.Engine()
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("setup refused")
+	ucfg := liveupdate.Config{Prog: prog, Setup: func(*maps.Set) error { return boom }}
+	if err := sh.ScheduleUpdate(count/2, ucfg); err != nil {
+		t.Fatal(err)
+	}
+	gen := pktgen.NewGenerator(app.Traffic)
+	rep, err := sh.RunLoad(gen.Next, count, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UpdatesAttempted != 1 || rep.UpdatesRolledBack != 1 || rep.UpdatesCompleted != 0 {
+		t.Fatalf("attempted %d rolled back %d completed %d, want 1/1/0",
+			rep.UpdatesAttempted, rep.UpdatesRolledBack, rep.UpdatesCompleted)
+	}
+	if rep.UpdateStage != liveupdate.StageRolledBack.String() {
+		t.Errorf("update stage %q, want rolled back", rep.UpdateStage)
+	}
+	if rep.UpdateFailure == "" {
+		t.Error("rollback recorded no failure cause")
+	}
+	if sh.Engine() != old {
+		t.Error("rollback did not keep the old replica fleet serving")
+	}
+	if rep.Received != rep.Sent {
+		t.Errorf("rollback dropped traffic: %d of %d", rep.Received, rep.Sent)
+	}
+	stats, _ := sh.Maps().ByName("stats")
+	v, ok := stats.Lookup([]byte{1, 0, 0, 0})
+	if !ok {
+		t.Fatal("stats[1] missing after rollback")
+	}
+	if got := binary.LittleEndian.Uint64(v); got != uint64(count) {
+		t.Errorf("counter after rollback = %d, want %d", got, count)
+	}
+}
+
+// TestMultiQueueChaos runs the shell-side fault classes through the
+// dispatcher: damaged frames take the queue-0 fallback, overflow bursts
+// pile onto shared arrival cycles, and the books still balance.
+func TestMultiQueueChaos(t *testing.T) {
+	const count = 1500
+	cfg := ShellConfig{
+		Queues: 4,
+		Faults: faults.Config{Seed: 7, MalformRate: 0.05, OverflowRate: 0.01, OverflowBurstLen: 8},
+		Sim: hwsim.Config{InputQueuePackets: 64},
+	}
+	sh := newShell(t, apps.Toy(), core.Options{}, cfg)
+	gen := pktgen.NewGenerator(apps.Toy().Traffic)
+	rep, err := sh.RunLoad(gen.Next, count, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MalformedSent == 0 {
+		t.Error("chaos profile injected no malformed frames")
+	}
+	if rep.OverflowBursts == 0 || rep.Sent <= count {
+		t.Errorf("no overflow bursts landed: %d bursts, %d sent", rep.OverflowBursts, rep.Sent)
+	}
+	if rep.SteerFallbacks == 0 {
+		t.Error("no damaged frame took the queue-0 fallback")
+	}
+	// Malformed frames still complete (the hardware forces a drop
+	// verdict), so they sit inside Received, not next to it.
+	if got := rep.Received + rep.Lost; got != rep.Sent {
+		t.Errorf("accounting: %d received + %d lost != %d sent", rep.Received, rep.Lost, rep.Sent)
+	}
+	if rep.MalformedDropped == 0 {
+		t.Error("no malformed frame was bounds-checked into a drop")
+	}
+}

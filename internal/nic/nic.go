@@ -16,6 +16,7 @@ import (
 	"ehdl/internal/liveupdate"
 	"ehdl/internal/maps"
 	"ehdl/internal/obs"
+	"ehdl/internal/rss"
 )
 
 // ShellConfig parameterises the shell.
@@ -34,6 +35,15 @@ type ShellConfig struct {
 	// the pipeline simulator (SEU flips, flush storms) and uses it itself
 	// to damage generated frames and to fire ingress overflow bursts.
 	Faults faults.Config
+	// Queues selects multi-queue RSS scale-out (Section 5's replicated
+	// deployment): values above 1 instantiate that many independent
+	// pipeline replicas behind a Toeplitz flow-hash dispatcher, each on
+	// its own goroutine with banked per-flow maps. 0 or 1 keeps the
+	// classic single-pipeline shell.
+	Queues int
+	// Batch is the dispatcher/collector batch size in multi-queue mode
+	// (amortised channel operations). 0 means rss.DefaultBatch.
+	Batch int
 	// Hazard policy and other simulator knobs.
 	Sim hwsim.Config
 }
@@ -72,6 +82,9 @@ type Shell struct {
 	pl  *core.Pipeline
 	inj *faults.Injector
 
+	// engine is the multi-queue RSS scale-out (nil when Queues <= 1).
+	engine *rss.Engine
+
 	// Master clock state: helper-visible time survives pipeline swaps.
 	// cycleBase is the cycle count retired pipelines accumulated before
 	// the serving one took over; pinned, when set, freezes time (tests).
@@ -94,6 +107,23 @@ func New(pl *core.Pipeline, cfg ShellConfig) (*Shell, error) {
 		// shared, so shell-side classes (malformed traffic, overflow
 		// bursts) stay on the same seeded stream.
 		inj = cfg.Sim.Faults
+	}
+	if cfg.Queues > 1 {
+		// Multi-queue scale-out: N replicas behind the RSS dispatcher.
+		// The engine forks the injector per replica; the shell keeps the
+		// base stream for traffic damage and overflow bursts.
+		eng, err := rss.NewEngine(pl, rss.Config{
+			Queues: cfg.Queues,
+			Batch:  cfg.Batch,
+			Sim:    cfg.Sim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Sim.Metrics != nil {
+			maps.ObserveSet(eng.HostMaps(), cfg.Sim.Metrics)
+		}
+		return &Shell{cfg: cfg, pl: pl, inj: inj, engine: eng}, nil
 	}
 	sim, err := hwsim.New(pl, cfg.Sim)
 	if err != nil {
@@ -123,11 +153,22 @@ func (sh *Shell) nowNs() uint64 {
 	return uint64(float64(sh.cycleBase+sh.sim.Cycle()) / sh.cfg.clockHz() * 1e9)
 }
 
-// Maps exposes the host-side map interface of the NIC.
-func (sh *Shell) Maps() *maps.Set { return sh.sim.Maps() }
+// Maps exposes the host-side map interface of the NIC. In multi-queue
+// mode this is the merged view: writes before traffic broadcast to
+// every replica bank, reads after a run serve the deterministic merge.
+func (sh *Shell) Maps() *maps.Set {
+	if sh.engine != nil {
+		return sh.engine.HostMaps()
+	}
+	return sh.sim.Maps()
+}
 
 // Sim exposes the underlying simulator (for clock pinning in tests).
+// Nil in multi-queue mode — use Engine to reach the replicas.
 func (sh *Shell) Sim() *hwsim.Sim { return sh.sim }
+
+// Engine exposes the multi-queue RSS engine (nil with Queues <= 1).
+func (sh *Shell) Engine() *rss.Engine { return sh.engine }
 
 // Injector exposes the shell's fault injector (nil without faults).
 func (sh *Shell) Injector() *faults.Injector { return sh.inj }
@@ -241,6 +282,40 @@ type Report struct {
 	// MigrationTicks and CutoverTicks are stage lengths in shell cycles.
 	MigrationTicks uint64
 	CutoverTicks   uint64
+
+	// Multi-queue measurements (QueueCount stays 1 and PerQueue nil on
+	// the classic single-pipeline shell).
+
+	// QueueCount is the number of pipeline replicas that served the run.
+	QueueCount int
+	// PerQueue breaks the run down by replica.
+	PerQueue []QueueReport
+	// SteerFallbacks counts malformed/non-IP frames the dispatcher
+	// steered to the queue-0 catch-all.
+	SteerFallbacks uint64
+	// MergeConflicts counts map keys mutated by more than one replica
+	// bank — zero while flow pinning holds (anything else is a
+	// dispatcher bug surfaced by the merge).
+	MergeConflicts uint64
+}
+
+// QueueReport is one replica's slice of a multi-queue run.
+type QueueReport struct {
+	// Queue is the replica index.
+	Queue int
+	// Steered counts arrivals the dispatcher classified to the queue.
+	Steered uint64
+	// Received counts packets the replica retired.
+	Received uint64
+	// Lost counts ingress-queue drops (back-pressure), as in Report.
+	Lost uint64
+	// Flushes counts RAW-hazard flush episodes in the replica.
+	Flushes uint64
+	// Cycles is the replica's simulated cycle count including its drain
+	// tail.
+	Cycles uint64
+	// AchievedMpps is the replica's own throughput over its cycles.
+	AchievedMpps float64
 }
 
 // LineRateMpps returns the port's packet rate for a frame size.
@@ -255,6 +330,9 @@ func (sh *Shell) LineRateMpps(frameLen int) float64 {
 func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Report, error) {
 	if offeredPps <= 0 {
 		return Report{}, fmt.Errorf("nic: offered rate must be positive")
+	}
+	if sh.engine != nil {
+		return sh.runLoadMulti(next, count, offeredPps)
 	}
 	// Annotate the run for runtime/trace consumers (-runtime-trace on
 	// the CLIs); free when no execution trace is active.
@@ -460,6 +538,7 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 		rep.AchievedGbps = float64(bytesOut+20*rep.Received) * 8 / seconds / 1e9
 		rep.FlushesPerS = float64(rep.Flushes) / seconds
 	}
+	rep.QueueCount = 1
 	rep.OfferedMpps = offeredPps / 1e6
 	rep.OfferedGbps = float64(bytesIn+20*rep.Sent) * 8 / (float64(sent) * cyclesPerPacket / clock) / 1e9
 	if rep.Received > 0 {
@@ -501,10 +580,18 @@ func (sh *Shell) SaturationMpps(next func() []byte, perStep int, startMpps, step
 }
 
 // PinClock fixes the helper-visible time (tests). The pin rides the
-// shell's master clock, so it survives a live-update pipeline swap.
+// shell's master clock, so it survives a live-update pipeline swap. In
+// multi-queue mode the pin applies to every replica (and to replicas
+// installed by a later update swap).
 func (sh *Shell) PinClock(now uint64) {
 	sh.pinned = &now
+	if sh.engine != nil {
+		sh.engine.SetClock(sh.pinnedNow)
+	}
 }
+
+// pinnedNow serves the pinned clock to multi-queue replicas.
+func (sh *Shell) pinnedNow() uint64 { return *sh.pinned }
 
 // ScheduleUpdate arms a hitless live update: once RunLoad has offered
 // `after` packets it begins the shadow/migrate/canary/cutover sequence

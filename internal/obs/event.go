@@ -77,6 +77,11 @@ const (
 	// shadow sequence number. Aux: the mismatch class (verdict, packet
 	// bytes, map state).
 	KindCanaryDiverge
+	// KindQueueSteer marks the RSS dispatcher classifying one arrival
+	// to a pipeline replica. Seq: the global arrival index. Aux: the
+	// queue chosen. Aux2: the Toeplitz hash (0 for non-IP frames taking
+	// the queue-0 fallback).
+	KindQueueSteer
 
 	numKinds
 )
@@ -100,6 +105,7 @@ var kindNames = [numKinds]string{
 
 	KindUpdatePhase:   "update_phase",
 	KindCanaryDiverge: "canary_diverge",
+	KindQueueSteer:    "queue_steer",
 }
 
 // String returns the canonical event-class name.

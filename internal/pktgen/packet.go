@@ -178,6 +178,11 @@ func ParseFlow(pkt []byte) (Flow, error) {
 		DstIP: binary.BigEndian.Uint32(ip[16:20]),
 	}
 	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || ihl > len(ip) {
+		// A malformed IHL nibble can point past the frame; the flow is
+		// still identified by its addresses, ports stay zero.
+		return f, nil
+	}
 	l4 := ip[ihl:]
 	if (f.Proto == ebpf.IPProtoUDP || f.Proto == ebpf.IPProtoTCP) && len(l4) >= 4 {
 		f.SrcPort = binary.BigEndian.Uint16(l4[0:2])

@@ -1,0 +1,422 @@
+package rss
+
+import (
+	"fmt"
+	"sync"
+
+	"ehdl/internal/core"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/maps"
+	"ehdl/internal/obs"
+	"ehdl/internal/vm"
+)
+
+// Config parameterises the multi-queue engine.
+type Config struct {
+	// Queues is the replica count. Must be >= 1.
+	Queues int
+	// Batch is the dispatcher/collector batch size. 0 means
+	// DefaultBatch.
+	Batch int
+	// Key overrides the Toeplitz key (nil selects DefaultKey).
+	Key []byte
+	// Sim is the per-replica simulator template. ClockHz, hazard
+	// policy, protection and watchdog settings apply to every replica.
+	// Faults, when set, forks one deterministic per-class stream per
+	// replica (same chaos profile, independent draws). Trace is NOT
+	// handed to the replicas — the tracer is single-writer — it drives
+	// the dispatcher's queue-steer events instead. Metrics is shared by
+	// all replicas (the registry is atomic).
+	Sim hwsim.Config
+}
+
+func (c Config) queues() int {
+	if c.Queues < 1 {
+		return 1
+	}
+	return c.Queues
+}
+
+func (c Config) batch() int {
+	if c.Batch <= 0 {
+		return DefaultBatch
+	}
+	return c.Batch
+}
+
+// Completion is one retired packet flowing out of the collector.
+type Completion struct {
+	// Queue is the replica that executed the packet.
+	Queue int
+	// Seq is the global arrival index the dispatcher stamped (not the
+	// replica-local injection sequence, which is in Res.Seq).
+	Seq uint64
+	// PktLen is the frame length at injection (Res.Data is only
+	// populated under KeepData).
+	PktLen int
+	// Res is the replica simulator's result.
+	Res hwsim.Result
+}
+
+// QueueStats is the per-replica slice of a run.
+type QueueStats struct {
+	// Steered counts arrivals the dispatcher classified to this queue.
+	Steered uint64
+	// Cycles is the replica's simulated cycle count for the session
+	// (including its drain tail).
+	Cycles uint64
+	// Stats is the replica simulator's counter delta for the session.
+	Stats hwsim.Stats
+}
+
+// RunStats aggregates one engine session (Start..Drain).
+type RunStats struct {
+	// PerQueue holds one entry per replica, index == queue.
+	PerQueue []QueueStats
+	// Arrivals counts packets offered to the dispatcher.
+	Arrivals uint64
+	// FallbackSteers counts malformed/non-IP frames taking the queue-0
+	// catch-all.
+	FallbackSteers uint64
+	// MergeConflicts counts map keys mutated by more than one bank —
+	// zero unless flow pinning was violated.
+	MergeConflicts uint64
+	// MaxCycles is the longest replica session in cycles: hardware
+	// replicas run concurrently, so this is the run's wall-clock.
+	MaxCycles uint64
+}
+
+// replica is one pipeline copy and its worker-session state.
+type replica struct {
+	idx int
+	sim *hwsim.Sim
+
+	// globalSeq maps the replica-local injection sequence of an
+	// in-flight packet to its global arrival index and frame length.
+	// Touched only by the worker goroutine.
+	globalSeq map[uint64]inflight
+
+	// Session state, reset by Start.
+	cycleBase  uint64
+	statsBase  hwsim.Stats
+	endCycles  uint64
+	endStats   hwsim.Stats
+	runErr    error
+}
+
+// inflight ties a replica-local injection to its global identity.
+type inflight struct {
+	seq    uint64
+	pktLen int
+}
+
+// Engine replicates one compiled pipeline across N queues, each on its
+// own goroutine, with banked per-flow maps and one shared instance for
+// read-only state — the host-side model of the paper's Section 5
+// replicated deployment.
+type Engine struct {
+	pl  *core.Pipeline
+	cfg Config
+
+	sharing []Sharing
+	bankeds map[int]*banked
+	host    *maps.Set
+
+	replicas []*replica
+	sealed   bool
+	running  bool
+
+	disp        *Dispatcher
+	completions chan []Completion
+	workerWG    sync.WaitGroup
+	collectWG   sync.WaitGroup
+	onComplete  func(Completion)
+	completed   []*obs.Counter
+	drainBound  uint64
+}
+
+// defaultDrainBound caps the per-replica drain tail after the last
+// arrival: generous against stall policies and flush storms, far below
+// anything a livelock would need (the watchdog owns that).
+const defaultDrainBound = 4_000_000
+
+// NewEngine builds the replicas and the sharded map substrate. The
+// returned engine's HostMaps set is ready for application setup; call
+// Start before offering traffic.
+func NewEngine(pl *core.Pipeline, cfg Config) (*Engine, error) {
+	n := cfg.queues()
+	e := &Engine{
+		pl:         pl,
+		cfg:        cfg,
+		bankeds:    map[int]*banked{},
+		drainBound: defaultDrainBound,
+	}
+
+	prog := pl.Prog
+	// Per-map layout: one shared instance, or N banks plus a merged
+	// host view.
+	replicaMaps := make([][]maps.Map, n)
+	var hostMaps []maps.Map
+	for id, spec := range prog.Maps {
+		sh := ClassifyMap(pl, id)
+		e.sharing = append(e.sharing, sh)
+		if sh == SharingShared {
+			m, err := maps.New(spec)
+			if err != nil {
+				return nil, fmt.Errorf("rss: map %q: %w", spec.Name, err)
+			}
+			for q := 0; q < n; q++ {
+				replicaMaps[q] = append(replicaMaps[q], m)
+			}
+			hostMaps = append(hostMaps, m)
+			continue
+		}
+		b, err := newBanked(spec, sh, n)
+		if err != nil {
+			return nil, fmt.Errorf("rss: map %q: %w", spec.Name, err)
+		}
+		e.bankeds[id] = b
+		for q := 0; q < n; q++ {
+			replicaMaps[q] = append(replicaMaps[q], b.bank(q))
+		}
+		hostMaps = append(hostMaps, maps.Synchronize(b))
+	}
+	e.host = maps.SetOf(hostMaps...)
+
+	for q := 0; q < n; q++ {
+		simCfg := cfg.Sim
+		// The tracer is single-writer; replicas must not share it. The
+		// dispatcher (caller goroutine) keeps it for steer events.
+		simCfg.Trace = nil
+		if cfg.Sim.Faults != nil {
+			// Each replica runs its own forked per-class fault streams:
+			// same seeded campaign shape, independent draws, and the
+			// shell-side injector loses no draws to the replicas.
+			simCfg.Faults = cfg.Sim.Faults.Fork(int64(100 + q))
+		}
+		env := &vm.Env{Maps: maps.SetOf(replicaMaps[q]...)}
+		sim, err := hwsim.NewWithEnv(pl, simCfg, env)
+		if err != nil {
+			return nil, err
+		}
+		e.replicas = append(e.replicas, &replica{
+			idx:       q,
+			sim:       sim,
+			globalSeq: map[uint64]inflight{},
+		})
+		if cfg.Sim.Metrics != nil {
+			e.completed = append(e.completed, cfg.Sim.Metrics.Counter(MetricCompleted(q)))
+		}
+	}
+	return e, nil
+}
+
+// Queues returns the replica count.
+func (e *Engine) Queues() int { return len(e.replicas) }
+
+// Pipeline returns the compiled design the replicas execute.
+func (e *Engine) Pipeline() *core.Pipeline { return e.pl }
+
+// HostMaps is the host-side map view: shared instances directly,
+// banked maps through their synchronized merged wrapper. Writes before
+// Start broadcast to every bank; reads after Drain serve the merged
+// per-CPU-style view.
+func (e *Engine) HostMaps() *maps.Set { return e.host }
+
+// Replica exposes one underlying simulator (tests, clock pinning).
+func (e *Engine) Replica(q int) *hwsim.Sim { return e.replicas[q].sim }
+
+// SetClock pins the helper-visible clock of every replica.
+func (e *Engine) SetClock(fn func() uint64) {
+	for _, r := range e.replicas {
+		r.sim.SetClock(fn)
+	}
+}
+
+// KeepData makes every replica retain result payloads (conformance).
+func (e *Engine) KeepData(keep bool) {
+	for _, r := range e.replicas {
+		r.sim.KeepData(keep)
+	}
+}
+
+// Sharing returns the layout class of map id.
+func (e *Engine) Sharing(id int) Sharing {
+	if id < 0 || id >= len(e.sharing) {
+		return SharingShared
+	}
+	return e.sharing[id]
+}
+
+// Start seals host setup (first call), builds the dispatcher for the
+// offered rate and launches one worker per replica plus the completion
+// collector. onComplete, when non-nil, is invoked from the collector
+// goroutine — per-queue completion order is preserved, queues
+// interleave.
+func (e *Engine) Start(cyclesPerPacket float64, onComplete func(Completion)) error {
+	if e.running {
+		return fmt.Errorf("rss: engine already running")
+	}
+	if !e.sealed {
+		for _, b := range e.bankeds {
+			b.seal()
+		}
+		e.sealed = true
+	}
+	disp, err := NewDispatcher(DispatcherConfig{
+		Queues:          len(e.replicas),
+		Batch:           e.cfg.batch(),
+		Key:             e.cfg.Key,
+		CyclesPerPacket: cyclesPerPacket,
+		Trace:           e.cfg.Sim.Trace,
+		Metrics:         e.cfg.Sim.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	e.disp = disp
+	e.onComplete = onComplete
+	e.completions = make(chan []Completion, 2*len(e.replicas))
+	e.running = true
+
+	for _, r := range e.replicas {
+		r.cycleBase = r.sim.Cycle()
+		r.statsBase = r.sim.Stats()
+		r.runErr = nil
+		e.workerWG.Add(1)
+		go e.worker(r, disp.Sink(r.idx))
+	}
+	e.collectWG.Add(1)
+	go e.collect()
+	return nil
+}
+
+// Offer classifies and enqueues one arrival; returns the chosen queue.
+// Call only between Start and Drain, from one goroutine.
+func (e *Engine) Offer(pkt []byte) int { return e.disp.Offer(pkt) }
+
+// OfferBurst enqueues one arrival without advancing the pacing clock:
+// the frame lands on the same due cycle as the next paced arrival, the
+// way an ingress overflow burst piles onto one cycle.
+func (e *Engine) OfferBurst(pkt []byte) int { return e.disp.OfferBurst(pkt) }
+
+// worker drives one replica: it paces each item to its global due
+// cycle, injects it, and streams completion batches to the collector.
+// On a simulator error it keeps draining the channel (so the
+// dispatcher never blocks) and reports the error at Drain.
+func (e *Engine) worker(r *replica, in <-chan []Item) {
+	defer e.workerWG.Done()
+	sim := r.sim
+	batch := e.cfg.batch()
+	buf := make([]Completion, 0, batch)
+	flush := func() {
+		if len(buf) > 0 {
+			e.completions <- buf
+			buf = make([]Completion, 0, batch)
+		}
+	}
+	sim.OnComplete(func(res hwsim.Result) {
+		fl := r.globalSeq[res.Seq]
+		delete(r.globalSeq, res.Seq)
+		buf = append(buf, Completion{Queue: r.idx, Seq: fl.seq, PktLen: fl.pktLen, Res: res})
+		if len(buf) >= batch {
+			flush()
+		}
+	})
+	defer sim.OnComplete(nil)
+
+	for items := range in {
+		if r.runErr != nil {
+			continue // discard: keep the dispatcher unblocked
+		}
+		for _, it := range items {
+			for sim.Cycle()-r.cycleBase < it.Due {
+				if err := sim.Step(); err != nil {
+					r.runErr = err
+					break
+				}
+			}
+			if r.runErr != nil {
+				break
+			}
+			seq := sim.NextSeq()
+			if sim.Inject(it.Data) {
+				r.globalSeq[seq] = inflight{seq: it.Seq, pktLen: len(it.Data)}
+			}
+		}
+	}
+	if r.runErr == nil {
+		// Drain: run the tail out. The bound is a backstop, not a
+		// deadline — an idle replica exits on the first check.
+		if err := sim.RunToCompletion(e.drainBound); err != nil {
+			r.runErr = err
+		}
+	}
+	flush()
+	r.endCycles = sim.Cycle() - r.cycleBase
+	r.endStats = sim.Stats()
+}
+
+// collect fans per-replica completion batches into the caller's
+// callback and the per-queue metrics.
+func (e *Engine) collect() {
+	defer e.collectWG.Done()
+	for batch := range e.completions {
+		for _, c := range batch {
+			if e.completed != nil {
+				e.completed[c.Queue].Inc()
+			}
+			if e.onComplete != nil {
+				e.onComplete(c)
+			}
+		}
+	}
+}
+
+// Drain flushes the dispatcher, runs every replica to completion,
+// joins the workers and the collector, and returns the session's
+// aggregated statistics. The first replica error (lowest queue wins,
+// deterministically) is returned after all goroutines have stopped.
+func (e *Engine) Drain() (RunStats, error) {
+	if !e.running {
+		return RunStats{}, fmt.Errorf("rss: engine not running")
+	}
+	e.disp.Close()
+	e.workerWG.Wait()
+	close(e.completions)
+	e.collectWG.Wait()
+	e.running = false
+
+	var rs RunStats
+	rs.Arrivals = e.disp.Arrivals()
+	perQueue := e.disp.PerQueue()
+	var firstErr error
+	for _, r := range e.replicas {
+		qs := QueueStats{
+			Steered: perQueue[r.idx],
+			Cycles:  r.endCycles,
+			Stats:   r.endStats.Delta(r.statsBase),
+		}
+		rs.PerQueue = append(rs.PerQueue, qs)
+		if qs.Cycles > rs.MaxCycles {
+			rs.MaxCycles = qs.Cycles
+		}
+		if r.runErr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("rss: queue %d: %w", r.idx, r.runErr)
+		}
+	}
+	for _, b := range e.bankeds {
+		rs.MergeConflicts += b.Conflicts()
+	}
+	rs.FallbackSteers = e.disp.Fallbacks()
+	return rs, firstErr
+}
+
+// Unseal reopens host-broadcast mode on the banked maps (engine reuse
+// after a live-update rollback re-seeds state).
+func (e *Engine) Unseal() {
+	for _, b := range e.bankeds {
+		b.unseal()
+	}
+	e.sealed = false
+}

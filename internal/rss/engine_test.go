@@ -1,0 +1,279 @@
+package rss
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+	"ehdl/internal/pktgen"
+)
+
+func compileApp(t testing.TB, name string) *core.Pipeline {
+	t.Helper()
+	app, ok := apps.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	prog, err := app.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.Compile(prog, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func setupApp(t testing.TB, name string, set *maps.Set) {
+	t.Helper()
+	app, _ := apps.ByName(name)
+	if app.SetupHost != nil {
+		if err := app.SetupHost(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runEngine pushes count generated packets through an engine and
+// drains it.
+func runEngine(t testing.TB, e *Engine, gcfg pktgen.GeneratorConfig, count int) RunStats {
+	t.Helper()
+	if err := e.Start(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	gen := pktgen.NewGenerator(gcfg)
+	for i := 0; i < count; i++ {
+		e.Offer(gen.Next())
+	}
+	rs, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestClassifyMapPerApp(t *testing.T) {
+	cases := []struct {
+		app  string
+		want map[string]Sharing
+	}{
+		{"toy", map[string]Sharing{"stats": SharingCounter}},
+		{"firewall", map[string]Sharing{"conn": SharingFlow, "fwstats": SharingCounter}},
+		{"router", map[string]Sharing{"routes": SharingShared, "rtstats": SharingCounter}},
+		{"loadbalancer", map[string]Sharing{"vips": SharingShared, "backends": SharingShared}},
+	}
+	for _, c := range cases {
+		pl := compileApp(t, c.app)
+		for id, spec := range pl.Prog.Maps {
+			want, ok := c.want[spec.Name]
+			if !ok {
+				continue
+			}
+			if got := ClassifyMap(pl, id); got != want {
+				t.Errorf("%s/%s: classified %v, want %v", c.app, spec.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestCounterMergeEqualsTotal drives the toy app (one global counter
+// bumped per packet) across queue counts: the merged counter must equal
+// the packet count regardless of how flows spread.
+func TestCounterMergeEqualsTotal(t *testing.T) {
+	const packets = 600
+	gcfg := pktgen.GeneratorConfig{Flows: 32, PacketLen: 64, Seed: 11}
+	for _, queues := range []int{1, 2, 4, 8} {
+		pl := compileApp(t, "toy")
+		e, err := NewEngine(pl, Config{Queues: queues})
+		if err != nil {
+			t.Fatal(err)
+		}
+		setupApp(t, "toy", e.HostMaps())
+		rs := runEngine(t, e, gcfg, packets)
+
+		var completed uint64
+		for _, qs := range rs.PerQueue {
+			completed += qs.Stats.Completed
+		}
+		if completed != packets {
+			t.Fatalf("%d queues: completed %d of %d", queues, completed, packets)
+		}
+		stats, ok := e.HostMaps().ByName("stats")
+		if !ok {
+			t.Fatal("no stats map")
+		}
+		// Generated traffic is IPv4: toy bumps stats[1] (ETH_P_IP).
+		key := []byte{1, 0, 0, 0}
+		v, ok := stats.Lookup(key)
+		if !ok {
+			t.Fatalf("%d queues: stats[1] missing", queues)
+		}
+		if got := binary.LittleEndian.Uint64(v); got != packets {
+			t.Fatalf("%d queues: merged counter %d, want %d", queues, got, packets)
+		}
+		if rs.MergeConflicts != 0 {
+			t.Fatalf("%d queues: %d merge conflicts", queues, rs.MergeConflicts)
+		}
+	}
+}
+
+// TestEngineDeterminism runs the same traffic twice at 4 queues: the
+// per-queue statistics and the merged map state must be bit-identical,
+// independent of host goroutine scheduling.
+func TestEngineDeterminism(t *testing.T) {
+	const packets = 800
+	gcfg := pktgen.GeneratorConfig{Flows: 48, PacketLen: 64, Seed: 3}
+	run := func() (RunStats, *maps.SetSnapshot) {
+		pl := compileApp(t, "firewall")
+		e, err := NewEngine(pl, Config{Queues: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		setupApp(t, "firewall", e.HostMaps())
+		rs := runEngine(t, e, gcfg, packets)
+		snap := e.HostMaps().Snapshot()
+		return rs, snap
+	}
+	rs1, snap1 := run()
+	rs2, snap2 := run()
+	if !reflect.DeepEqual(rs1.PerQueue, rs2.PerQueue) {
+		t.Fatalf("per-queue stats diverged:\n%+v\n%+v", rs1.PerQueue, rs2.PerQueue)
+	}
+	if !snap1.Equal(snap2) {
+		t.Fatal("merged map state diverged between identical runs")
+	}
+}
+
+// TestSharedMapStaysSingle checks read-only maps are not banked: a
+// host write after setup is visible to every replica without a merge.
+func TestSharedMapStaysSingle(t *testing.T) {
+	pl := compileApp(t, "router")
+	e, err := NewEngine(pl, Config{Queues: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, spec := range pl.Prog.Maps {
+		if spec.Name != "routes" {
+			continue
+		}
+		if e.Sharing(id) != SharingShared {
+			t.Fatalf("routes classified %v, want shared", e.Sharing(id))
+		}
+		host, _ := e.HostMaps().ByName("routes")
+		for q := 0; q < e.Queues(); q++ {
+			rm, _ := e.Replica(q).Maps().ByName("routes")
+			if rm != host {
+				t.Fatalf("queue %d does not share the routes instance", q)
+			}
+		}
+	}
+}
+
+// TestBankedBroadcastAndMerge exercises the banked map host contract
+// directly: pre-seal writes land in every bank, post-seal reads merge.
+func TestBankedBroadcastAndMerge(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "ctr", Kind: ebpf.MapArray, KeySize: 4, ValueSize: 8, MaxEntries: 4}
+	b, err := newBanked(spec, SharingCounter, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := make([]byte, 4)
+	seed := make([]byte, 8)
+	binary.LittleEndian.PutUint64(seed, 100)
+	if err := b.Update(key, seed, maps.UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	b.seal()
+
+	// Each bank adds its own delta the way replica atomics would.
+	for q, delta := range []uint64{5, 7, 11} {
+		v, ok := b.bank(q).Lookup(key)
+		if !ok {
+			t.Fatalf("bank %d missing broadcast key", q)
+		}
+		binary.LittleEndian.PutUint64(v, 100+delta)
+	}
+	got, ok := b.Lookup(key)
+	if !ok {
+		t.Fatal("merged key missing")
+	}
+	if n := binary.LittleEndian.Uint64(got); n != 100+5+7+11 {
+		t.Fatalf("counter merge = %d, want %d", n, 100+5+7+11)
+	}
+}
+
+func TestBankedUnionMerge(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "conn", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 4, MaxEntries: 16}
+	b, err := newBanked(spec, SharingFlow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := []byte{1, 0, 0, 0}
+	k2 := []byte{2, 0, 0, 0}
+	k3 := []byte{3, 0, 0, 0}
+	if err := b.Update(k1, []byte{9, 9, 9, 9}, maps.UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	b.seal()
+
+	// Bank 0 creates k2; bank 1 rewrites k1; nothing touches k3.
+	if err := b.bank(0).Update(k2, []byte{2, 2, 2, 2}, maps.UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.bank(1).Update(k1, []byte{7, 7, 7, 7}, maps.UpdateAny); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := b.Lookup(k1); !ok || v[0] != 7 {
+		t.Fatalf("k1 merged %v %v, want rewrite from bank 1", v, ok)
+	}
+	if v, ok := b.Lookup(k2); !ok || v[0] != 2 {
+		t.Fatalf("k2 merged %v %v, want creation from bank 0", v, ok)
+	}
+	if _, ok := b.Lookup(k3); ok {
+		t.Fatal("k3 should be absent")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2", b.Len())
+	}
+
+	// A bank deleting a baseline key removes it from the merged view.
+	if err := b.bank(0).Delete(k1); err != nil {
+		t.Fatal(err)
+	}
+	// Now k1 changed in both banks: deterministic lowest-queue-wins and
+	// a conflict is recorded.
+	if _, ok := b.Lookup(k1); ok {
+		t.Fatal("k1 should follow bank 0's delete (lowest queue wins)")
+	}
+	if b.Conflicts() == 0 {
+		t.Fatal("cross-bank mutation should count a conflict")
+	}
+}
+
+// TestEngineRestart checks Start/Drain/Start reuse (the live-update
+// swap path restarts sessions on retained state).
+func TestEngineRestart(t *testing.T) {
+	pl := compileApp(t, "toy")
+	e, err := NewEngine(pl, Config{Queues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupApp(t, "toy", e.HostMaps())
+	gcfg := pktgen.GeneratorConfig{Flows: 8, PacketLen: 64, Seed: 5}
+	runEngine(t, e, gcfg, 100)
+	runEngine(t, e, gcfg, 100)
+	stats, _ := e.HostMaps().ByName("stats")
+	v, ok := stats.Lookup([]byte{1, 0, 0, 0})
+	if !ok {
+		t.Fatal("stats[1] missing")
+	}
+	if got := binary.LittleEndian.Uint64(v); got != 200 {
+		t.Fatalf("two sessions merged %d, want 200", got)
+	}
+}
