@@ -8,13 +8,13 @@ build:
 	$(GO) build ./...
 
 # The conformance suite, the observability layer, the live-update
-# controller and the multi-queue path (rss + nic) rerun under the race
-# detector even in the default gate: the tracer, registry, update
-# machinery and the dispatcher/worker/collector goroutines are the
-# pieces most likely to grow cross-goroutine users.
+# controller, the multi-queue path (rss + nic) and the fleet control
+# plane rerun under the race detector even in the default gate: the
+# tracer, registry, update machinery and the dispatcher/worker/collector
+# goroutines are the pieces most likely to grow cross-goroutine users.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/ ./internal/rss/ ./internal/nic/
+	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/ ./internal/rss/ ./internal/nic/ ./internal/fleet/
 
 # Quick slice: skips the chaos campaign sweep and long fuzz runs.
 short:
@@ -28,21 +28,31 @@ race:
 
 # Full fault-injection campaign: every app under every fault class,
 # intensity sweep included (the tests that testing.Short skips), plus
-# the SEU-heal recovery suite.
+# the SEU-heal recovery suite and the fleet-level chaos gate (device
+# kills and silent corruption mid-rollout, rollback, drain/re-admit).
 chaos:
-	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience|Recovery|Protect' ./internal/...
+	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience|Recovery|Protect|Fleet|Rollback' ./internal/...
 
 # Coverage gate for the self-healing subsystem, the observability
-# layer and the RSS dispatcher: the protection codecs, the simulator
-# that hosts the recovery machinery, the tracer/metrics/profiling
-# package and the multi-queue front end must stay above their floors
-# (protect 90%, hwsim 75%, obs 85%, rss 85%).
+# layer, the RSS dispatcher and the fleet control plane: the protection
+# codecs, the simulator that hosts the recovery machinery, the
+# tracer/metrics/profiling package, the multi-queue front end and the
+# fleet controller must stay above their floors (protect 90%, hwsim
+# 75%, obs 85%, rss 85%, fleet 85%). A gated package missing from the
+# coverage output fails the gate — a silently dropped package must not
+# read as a pass.
 cover:
-	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ ./internal/rss/ | tee /tmp/ehdl-cover.txt
-	@awk '/internal\/protect/ { split($$5, a, "%"); if (a[1]+0 < 90) { print "FAIL: internal/protect coverage " a[1] "% < 90%"; exit 1 } } \
-	      /internal\/hwsim/   { split($$5, a, "%"); if (a[1]+0 < 75) { print "FAIL: internal/hwsim coverage " a[1] "% < 75%"; exit 1 } } \
-	      /internal\/obs/     { split($$5, a, "%"); if (a[1]+0 < 85) { print "FAIL: internal/obs coverage " a[1] "% < 85%"; exit 1 } } \
-	      /internal\/rss/     { split($$5, a, "%"); if (a[1]+0 < 85) { print "FAIL: internal/rss coverage " a[1] "% < 85%"; exit 1 } }' /tmp/ehdl-cover.txt
+	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ ./internal/rss/ ./internal/fleet/ | tee /tmp/ehdl-cover.txt
+	@awk 'function gate(pkg, floor,    a) { seen[pkg] = 1; split($$5, a, "%"); \
+	          if (a[1]+0 < floor) { printf "FAIL: internal/%s coverage %s%% < %d%%\n", pkg, a[1], floor; bad = 1 } } \
+	      /internal\/protect/ { gate("protect", 90) } \
+	      /internal\/hwsim/   { gate("hwsim", 75) } \
+	      /internal\/obs/     { gate("obs", 85) } \
+	      /internal\/rss/     { gate("rss", 85) } \
+	      /internal\/fleet/   { gate("fleet", 85) } \
+	      END { n = split("protect hwsim obs rss fleet", want, " "); \
+	            for (i = 1; i <= n; i++) if (!seen[want[i]]) { printf "FAIL: internal/%s missing from coverage output\n", want[i]; bad = 1 } \
+	            exit bad }' /tmp/ehdl-cover.txt
 	@echo "coverage gates passed"
 
 # Short fuzz sweeps over the three adversarial surfaces: the vm-vs-hwsim

@@ -56,6 +56,7 @@ func run() int {
 		protLevel = flag.String("protect", "none", "map-memory protection: none|parity|ecc (non-none also arms scrubbing and drain-and-restart recovery)")
 		scrubEach = flag.Int("scrub-interval", 0, "scrubber budget in cycles per checked word (0: default 8)")
 		maxRecov  = flag.Int("max-recoveries", 0, "drain-and-restart budget between clean scrub passes (0: default 8, negative: unbounded)")
+		recJitter = flag.Int64("recovery-jitter", 0, "seed of the recovery-backoff jitter (0: exact deterministic schedule)")
 
 		updProg     = flag.String("update-prog", "", "hot-swap to this application mid-run (requires -update-after)")
 		updAfter    = flag.Int("update-after", -1, "arm the live update after this many offered packets (requires -update-prog)")
@@ -156,6 +157,7 @@ func run() int {
 	cfg.Sim.Protection = level
 	cfg.Sim.ScrubCyclesPerWord = *scrubEach
 	cfg.Sim.MaxRecoveries = *maxRecov
+	cfg.Sim.RecoveryJitterSeed = *recJitter
 
 	var reg *obs.Registry
 	if *metrics {

@@ -160,13 +160,25 @@ func Compare(base, cur *Baseline, tolerancePct float64) []string {
 			regressions = append(regressions, fmt.Sprintf("%s: measurement disappeared (baseline %.3f)", k, want))
 			continue
 		}
-		floor := want * (1 - tolerancePct/100)
-		if got < floor {
+		if Regressed(want, got, tolerancePct) {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: %.3f Mpps is %.1f%% below the baseline %.3f", k, got, 100*(want-got)/want, want))
 		}
 	}
 	return regressions
+}
+
+// Regressed reports whether current has fallen more than tolerancePct
+// below baseline — the single floor rule shared by the baseline file
+// gate above and the fleet rollout's per-device throughput check, so
+// "regression" means the same thing on one device and across a cluster.
+// A non-positive tolerance selects DefaultTolerancePct; improvements
+// never regress.
+func Regressed(baseline, current, tolerancePct float64) bool {
+	if tolerancePct <= 0 {
+		tolerancePct = DefaultTolerancePct
+	}
+	return current < baseline*(1-tolerancePct/100)
 }
 
 // Save writes the baseline as indented JSON.

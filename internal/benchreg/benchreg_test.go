@@ -108,6 +108,27 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestRegressedFloor pins the shared floor rule: a drop within
+// tolerance passes, a drop past it fails, improvements never fail, and
+// a non-positive tolerance selects the default 5%.
+func TestRegressedFloor(t *testing.T) {
+	if Regressed(100, 96, 5) {
+		t.Error("4% drop flagged at 5% tolerance")
+	}
+	if !Regressed(100, 94, 5) {
+		t.Error("6% drop not flagged at 5% tolerance")
+	}
+	if Regressed(100, 150, 5) {
+		t.Error("improvement flagged as regression")
+	}
+	if !Regressed(100, 90, 0) {
+		t.Error("default tolerance not applied for tolerancePct=0")
+	}
+	if Regressed(0, 0, 5) {
+		t.Error("zero baseline regressed against zero current")
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	b := collect(t)
 	path := filepath.Join(t.TempDir(), "baseline.json")

@@ -1,0 +1,727 @@
+// Package fleet is the cluster control plane of the repository: it runs
+// N simulated NIC shells as in-process shards behind a cluster-level
+// consistent-hash ring (flows partitioned one level above each device's
+// own RSS dispatcher), drives rolling canary live-updates across them,
+// and rebalances flows away from devices that are recovering, killed or
+// silently corrupted.
+//
+// The controller is an epoch loop. Each epoch it generates one traffic
+// slice, Toeplitz-hashes every flow onto the ring, serves each device's
+// partition through nic.Shell.RunLoad, and then applies control
+// decisions: verdict verification against a per-device reference
+// interpreter, health-driven drains with jittered re-admission, and one
+// step of the rollout state machine. Devices are served sequentially in
+// id order and every random decision draws from streams forked off one
+// master seed — a whole-fleet chaos run replays byte-identically.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/conformance"
+	"ehdl/internal/core"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/faults"
+	"ehdl/internal/maps"
+	"ehdl/internal/nic"
+	"ehdl/internal/obs"
+	"ehdl/internal/pktgen"
+	"ehdl/internal/rss"
+	"ehdl/internal/vm"
+)
+
+// Fleet-level metric names.
+const (
+	MetricGenerated   = "fleet.generated_packets"
+	MetricDelivered   = "fleet.delivered_packets"
+	MetricLost        = "fleet.lost_packets"
+	MetricDrains      = "fleet.drains"
+	MetricReadmits    = "fleet.readmits"
+	MetricKills       = "fleet.kills"
+	MetricQuarantines = "fleet.quarantines"
+	MetricDivergences = "fleet.verdict_divergences"
+	MetricUpdates     = "fleet.rollout_updates"
+	MetricReverts     = "fleet.rollout_reverts"
+)
+
+// Config parameterises a fleet run.
+type Config struct {
+	// Devices is the shard count. 0 means 4.
+	Devices int
+	// App is the workload every device serves. Required.
+	App *apps.App
+	// Opts is the compiler configuration (each device compiles its own
+	// pipeline, so shards share no mutable state).
+	Opts core.Options
+	// Shell is the per-device shell template. Its Faults field is
+	// overridden by the per-device Chaos fork; Sim.Trace and
+	// Sim.Metrics are cleared (the fleet's Trace/Metrics below observe
+	// the control plane, and the tracer is single-writer).
+	Shell nic.ShellConfig
+	// Seed is the master seed: traffic, fault forks, recovery jitter
+	// and cool-down jitter all derive from it. 0 means 1.
+	Seed int64
+	// VNodes is the ring's virtual-node count per device. 0 means 16.
+	VNodes int
+	// EpochPackets is the traffic slice per epoch. 0 means 256.
+	EpochPackets int
+	// OfferedPps is the per-device offered rate. 0 means 50e6.
+	OfferedPps float64
+
+	// Verify mirrors every device with a reference interpreter and
+	// diffs per-epoch verdict histograms and map state. Requires a
+	// time-free app (the mirror pins the clock at zero). Epochs where a
+	// device took hardware faults, dropped arrivals or absorbed an
+	// overflow burst are skipped — verdict conformance is asserted only
+	// where the hardware ran clean; faulted devices are handled by the
+	// health machinery instead.
+	Verify bool
+
+	// Chaos, when enabled, is forked per device (Injector.Fork
+	// semantics) so each shard runs its own deterministic hardware
+	// fault campaign.
+	Chaos faults.Config
+	// KillAt schedules hard mid-epoch device deaths: epoch -> device
+	// ids. The device's partition for that epoch is lost (bounded by
+	// the partition size) and exactly accounted in Report.KilledLoss.
+	KillAt map[int][]int
+	// CorruptAt schedules silent map-state corruption: epoch -> device
+	// ids. A corrupted device keeps serving; the verification mirror
+	// catches the divergence and quarantines it.
+	CorruptAt map[int][]int
+
+	// Update, when non-nil, arms a rolling canary update across the
+	// fleet.
+	Update *UpdateConfig
+
+	// DrainRecoveries is the per-epoch recovery count that drains a
+	// device from the ring. 0 means 1 (any recovery drains).
+	DrainRecoveries uint64
+	// CooldownEpochs is the base cool-down before a drained device is
+	// re-admitted; a seeded jitter in [0, base) is added so
+	// simultaneously-drained devices don't re-enter in lockstep. 0
+	// means 2.
+	CooldownEpochs int
+
+	// Trace receives KindRolloutPhase and KindRebalance events (the
+	// Cycle field carries the epoch). Metrics accumulates the fleet.*
+	// instruments. Both optional.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+}
+
+func (c Config) devices() int {
+	if c.Devices <= 0 {
+		return 4
+	}
+	return c.Devices
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+func (c Config) epochPackets() int {
+	if c.EpochPackets <= 0 {
+		return 256
+	}
+	return c.EpochPackets
+}
+
+func (c Config) offeredPps() float64 {
+	if c.OfferedPps <= 0 {
+		return 50e6
+	}
+	return c.OfferedPps
+}
+
+func (c Config) drainRecoveries() uint64 {
+	if c.DrainRecoveries == 0 {
+		return 1
+	}
+	return c.DrainRecoveries
+}
+
+func (c Config) cooldownEpochs() int {
+	if c.CooldownEpochs <= 0 {
+		return 2
+	}
+	return c.CooldownEpochs
+}
+
+// UpdateConfig parameterises the rolling canary update.
+type UpdateConfig struct {
+	// Prog is the new program. Required.
+	Prog *ebpf.Program
+	// Setup populates the new program's maps host-side before
+	// migration.
+	Setup func(*maps.Set) error
+	// StartEpoch is the first epoch a device may update. 0 means 1.
+	StartEpoch int
+	// RolloutRate is the minimum number of epochs between device
+	// updates — the update epoch plus at least one soak epoch whose
+	// throughput must clear the benchreg floor before the next device
+	// goes. 0 means 2; values below 2 are raised to 2.
+	RolloutRate int
+	// TolerancePct is the per-device throughput floor for the soak
+	// gate, benchreg semantics. 0 means benchreg.DefaultTolerancePct.
+	TolerancePct float64
+	// CanaryPackets is the per-device canary requirement. 0 means 8.
+	CanaryPackets int
+	// ShadowChaos injects a fault campaign into the named device's
+	// shadow pipeline (device id -> campaign) — the test hook that
+	// makes a canary diverge on demand.
+	ShadowChaos map[int]faults.Config
+}
+
+func (u *UpdateConfig) startEpoch() int {
+	if u.StartEpoch <= 0 {
+		return 1
+	}
+	return u.StartEpoch
+}
+
+func (u *UpdateConfig) rolloutRate() int {
+	if u.RolloutRate < 2 {
+		return 2
+	}
+	return u.RolloutRate
+}
+
+func (u *UpdateConfig) canaryPackets() int {
+	if u.CanaryPackets <= 0 {
+		return 8
+	}
+	return u.CanaryPackets
+}
+
+// devState is a device's position in the health state machine.
+type devState int
+
+const (
+	stateHealthy devState = iota
+	// stateCooling: drained from the ring after recoveries or a
+	// watchdog trip, waiting out the jittered cool-down.
+	stateCooling
+	// stateDead: killed by chaos or lost to an unrecoverable error;
+	// never re-admitted.
+	stateDead
+	// stateQuarantined: the verification mirror caught silent state
+	// corruption; never re-admitted.
+	stateQuarantined
+)
+
+var stateNames = [...]string{"healthy", "cooling", "dead", "quarantined"}
+
+func (s devState) String() string { return stateNames[s] }
+
+// device is one fleet shard.
+type device struct {
+	id int
+	sh *nic.Shell
+	mi *mirror
+	// prog is the program the device currently serves (flips with
+	// committed updates and reverts); the mirror rebuilds against it.
+	prog *ebpf.Program
+
+	state         devState
+	cooldownUntil int
+	corrupted     bool
+	deathCause    string
+
+	updated  bool
+	reverted bool
+	// baselineMpps is the device's throughput on its last clean
+	// pre-update epoch — the benchreg floor for the soak gate. lastMpps
+	// and lastMppsEpoch record the most recent served epoch so the soak
+	// gate knows it is looking at this epoch's number.
+	baselineMpps  float64
+	lastMpps      float64
+	lastMppsEpoch int
+
+	received uint64
+	lost     uint64
+	drains   int
+}
+
+// Controller owns the fleet.
+type Controller struct {
+	cfg     Config
+	prog    *ebpf.Program
+	devices []*device
+	ring    *ring
+	hasher  *rss.Hasher
+	gen     *pktgen.Generator
+	// rng draws fleet-level jitter (cool-down spread). Device-level
+	// randomness lives in the per-device injector forks.
+	rng     *rand.Rand
+	epoch   int
+	rep     Report
+	rollout *rolloutState
+}
+
+// mix is the seed spreader for per-device derived seeds (splitmix
+// finalizer, same construction the fault injector forks with).
+func mix(v int64) int64 {
+	z := uint64(v) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// New builds the fleet: per-device compiled pipelines, shells, fault
+// forks and (under Verify) reference mirrors, all on one ring.
+func New(cfg Config) (*Controller, error) {
+	if cfg.App == nil {
+		return nil, fmt.Errorf("fleet: an app is required")
+	}
+	if cfg.Update != nil && cfg.Update.Prog == nil {
+		return nil, fmt.Errorf("fleet: update config without a program")
+	}
+	prog, err := cfg.App.Program()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", cfg.App.Name, err)
+	}
+	hasher, err := rss.NewHasher(nil)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.devices()
+	c := &Controller{
+		cfg:    cfg,
+		prog:   prog,
+		ring:   newRing(cfg.VNodes),
+		hasher: hasher,
+		rng:    rand.New(rand.NewSource(mix(cfg.seed()))),
+	}
+	traffic := cfg.App.Traffic
+	traffic.Seed = mix(cfg.seed() + 1)
+	c.gen = pktgen.NewGenerator(traffic)
+
+	for i := 0; i < n; i++ {
+		pl, err := core.Compile(prog, cfg.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: device %d compile: %w", i, err)
+		}
+		shCfg := cfg.Shell
+		shCfg.Sim.Trace = nil
+		shCfg.Sim.Metrics = nil
+		if cfg.Chaos.Enabled() {
+			shCfg.Faults = cfg.Chaos.Fork(int64(i) + 1)
+		}
+		if shCfg.Sim.RecoveryJitterSeed == 0 {
+			shCfg.Sim.RecoveryJitterSeed = mix(cfg.seed() + 100 + int64(i))
+		}
+		sh, err := nic.New(pl, shCfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: device %d: %w", i, err)
+		}
+		if err := cfg.App.Setup(sh.Maps()); err != nil {
+			return nil, fmt.Errorf("fleet: device %d setup: %w", i, err)
+		}
+		d := &device{id: i, sh: sh, prog: prog}
+		if cfg.Verify {
+			mi, err := newMirror(prog, cfg.App.SetupHost)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: device %d mirror: %w", i, err)
+			}
+			d.mi = mi
+		}
+		c.devices = append(c.devices, d)
+		c.ring.Add(i)
+	}
+	if cfg.Update != nil {
+		c.rollout = newRollout(cfg.Update, n)
+	}
+	c.rep.Devices = n
+	c.rep.Seed = cfg.seed()
+	return c, nil
+}
+
+// count bumps a fleet metric (nil-registry safe).
+func (c *Controller) count(name string, n uint64) {
+	if c.cfg.Metrics != nil && n > 0 {
+		c.cfg.Metrics.Counter(name).Add(n)
+	}
+}
+
+// event emits one fleet trace event with the epoch as the cycle stamp.
+func (c *Controller) event(kind obs.Kind, aux, aux2 uint64) {
+	c.cfg.Trace.Emit(obs.Event{
+		Cycle: uint64(c.epoch), Kind: kind, Seq: obs.NoSeq,
+		Stage: obs.NoStage, Map: obs.NoMap, Aux: aux, Aux2: aux2,
+	})
+}
+
+// Run drives the fleet for `epochs` epochs and returns the aggregate
+// report. Device failures are absorbed into the report; the returned
+// error covers only the controller's own invariants.
+func (c *Controller) Run(epochs int) (Report, error) {
+	for e := 0; e < epochs; e++ {
+		c.epoch = e
+		c.rep.Epochs = e + 1
+		c.readmitCooled()
+		if c.rollout != nil {
+			c.rollout.schedule(c)
+		}
+		batches := c.partition()
+		for _, d := range c.devices {
+			c.chaosStrike(d, len(batches[d.id]))
+			if d.state != stateHealthy && d.state != stateCooling {
+				continue
+			}
+			c.serve(d, batches[d.id])
+		}
+		if c.rollout != nil {
+			c.rollout.evaluate(c)
+		}
+	}
+	c.finalize()
+	return c.rep, nil
+}
+
+// chaosStrike applies this epoch's scheduled kill/corrupt events to one
+// device, after its partition was assigned — a kill therefore loses
+// exactly that partition, the bounded in-flight loss the report
+// accounts under KilledLoss.
+func (c *Controller) chaosStrike(d *device, batchLen int) {
+	for _, id := range c.cfg.KillAt[c.epoch] {
+		if id == d.id && d.state != stateDead {
+			c.kill(d, "chaos kill", uint64(batchLen))
+		}
+	}
+	for _, id := range c.cfg.CorruptAt[c.epoch] {
+		if id == d.id && d.state == stateHealthy && !d.corrupted {
+			if corruptMaps(d.sh.Maps()) {
+				d.corrupted = true
+				c.rep.CorruptionsInjected++
+			}
+		}
+	}
+}
+
+// kill marks a device dead, removes it from the ring and charges the
+// partition it was about to serve to KilledLoss.
+func (c *Controller) kill(d *device, cause string, loss uint64) {
+	d.state = stateDead
+	d.deathCause = cause
+	c.ring.Remove(d.id)
+	c.rep.Kills++
+	c.rep.KilledLoss += loss
+	c.count(MetricKills, 1)
+	c.event(obs.KindRebalance, uint64(d.id), 1)
+}
+
+// quarantine permanently drains a device whose state diverged from the
+// reference — the silent-corruption path.
+func (c *Controller) quarantine(d *device) {
+	d.state = stateQuarantined
+	d.deathCause = "verdict divergence (quarantined)"
+	c.ring.Remove(d.id)
+	c.rep.Quarantines++
+	c.count(MetricQuarantines, 1)
+	c.event(obs.KindRebalance, uint64(d.id), 1)
+}
+
+// drain removes a recovering device from the ring for a jittered
+// cool-down. RunLoad drains the pipeline before returning, so a drain
+// decided at the epoch boundary strands zero in-flight packets — the
+// only loss already sits in the queue-drop books.
+func (c *Controller) drain(d *device) {
+	base := c.cfg.cooldownEpochs()
+	d.state = stateCooling
+	d.cooldownUntil = c.epoch + 1 + base + c.rng.Intn(base)
+	d.drains++
+	c.ring.Remove(d.id)
+	c.rep.Drains++
+	c.count(MetricDrains, 1)
+	c.event(obs.KindRebalance, uint64(d.id), 1)
+}
+
+// readmitCooled returns cooled-down devices to the ring.
+func (c *Controller) readmitCooled() {
+	for _, d := range c.devices {
+		if d.state == stateCooling && c.epoch >= d.cooldownUntil {
+			d.state = stateHealthy
+			c.ring.Add(d.id)
+			c.rep.Readmits++
+			c.count(MetricReadmits, 1)
+			c.event(obs.KindRebalance, uint64(d.id), 0)
+		}
+	}
+}
+
+// partition hashes one epoch's traffic slice onto the ring. Flows with
+// no live home (empty ring) are charged to UnroutableLoss.
+func (c *Controller) partition() [][][]byte {
+	batches := make([][][]byte, len(c.devices))
+	n := c.cfg.epochPackets()
+	for i := 0; i < n; i++ {
+		pkt := c.gen.Next()
+		hash, ok := c.hasher.HashPacket(pkt)
+		if !ok {
+			hash = 0
+		}
+		dev, live := c.ring.Lookup(hash)
+		if !live {
+			c.rep.UnroutableLoss++
+			continue
+		}
+		batches[dev] = append(batches[dev], pkt)
+	}
+	c.rep.Generated += uint64(n)
+	c.count(MetricGenerated, uint64(n))
+	return batches
+}
+
+// serve drives one device's partition through its shell, folds the
+// accounting, verifies against the mirror and applies the health rule.
+func (c *Controller) serve(d *device, batch [][]byte) {
+	count := len(batch)
+	if count == 0 {
+		return
+	}
+	// Overflow-burst faults make the shell pull more than count frames;
+	// extras recycle the partition (modulo) and every pull gets a fresh
+	// copy so in-place frame damage never reaches the mirror's
+	// pristine batch.
+	i := 0
+	next := func() []byte {
+		pkt := batch[i%count]
+		i++
+		return append([]byte(nil), pkt...)
+	}
+	rep, err := d.sh.RunLoad(next, count, c.cfg.offeredPps())
+	if err != nil {
+		// Unrecoverable device death mid-serve (recovery budget
+		// exhausted): retired packets stay delivered, the rest of the
+		// partition is the bounded in-flight loss.
+		delivered := rep.Received
+		if delivered > uint64(count) {
+			c.rep.ExtraInjected += delivered - uint64(count)
+		} else {
+			c.rep.MidServeLoss += uint64(count) - delivered
+		}
+		c.rep.Delivered += delivered
+		c.rep.Device.Add(rep)
+		d.received += delivered
+		c.kill(d, err.Error(), 0)
+		return
+	}
+	c.rep.Delivered += rep.Received
+	c.rep.QueueLost += rep.Lost
+	c.rep.ExtraInjected += rep.Sent - uint64(count)
+	c.rep.Device.Add(rep)
+	c.count(MetricDelivered, rep.Received)
+	c.count(MetricLost, rep.Lost)
+	d.received += rep.Received
+	d.lost += rep.Lost
+
+	updateEpoch := c.rollout != nil && c.rollout.pending == d.id
+	if updateEpoch {
+		c.rollout.lastRep = rep
+	}
+
+	switch {
+	case updateEpoch:
+		// The live-update machinery ran its own canary diff this epoch;
+		// the mirror is stale by one batch either way (commit or
+		// rollback), so resync it from the device's host maps.
+		if rep.UpdatesCompleted > 0 {
+			d.prog = c.rollout.servingProg(c, d)
+		}
+		c.resyncMirror(d)
+	case c.verifiable(d, rep, count):
+		c.verify(d, batch, rep)
+	default:
+		// The epoch took hardware faults, damage or drops, so it is not
+		// comparable to the fault-free reference — and a silent map
+		// upset from it would otherwise poison every later clean diff.
+		// Re-base the mirror on the device's current state: conformance
+		// is asserted over clean windows, faulted windows are owned by
+		// the protection/recovery machinery.
+		c.resyncMirror(d)
+	}
+
+	d.lastMpps = rep.AchievedMpps
+	d.lastMppsEpoch = c.epoch
+	if d.state == stateHealthy && !d.updated && !updateEpoch {
+		// Update epochs carry migration and cutover overhead; only
+		// clean epochs set the soak-gate baseline.
+		d.baselineMpps = rep.AchievedMpps
+	}
+	if rep.Recoveries >= c.cfg.drainRecoveries() || rep.WatchdogTrips > 0 {
+		if d.state == stateHealthy {
+			c.drain(d)
+		}
+	}
+}
+
+// resyncMirror re-bases a device's mirror on its serving program and
+// current host map state (no-op without a mirror; a rebuild failure
+// disables verification for the device rather than mis-diffing it).
+func (c *Controller) resyncMirror(d *device) {
+	if d.mi == nil {
+		return
+	}
+	if err := d.mi.rebuild(d.prog, d.sh.Maps()); err != nil {
+		d.mi = nil
+	}
+}
+
+// verifiable gates the mirror diff: only an epoch the hardware served
+// clean — no injected faults, no damaged frames, no recovery aborts, no
+// queue drops, no overflow extras — is comparable to the fault-free
+// reference.
+func (c *Controller) verifiable(d *device, rep nic.Report, count int) bool {
+	return d.mi != nil &&
+		rep.FaultsInjected == 0 && rep.MalformedSent == 0 &&
+		rep.RecoveryAborted == 0 && rep.Lost == 0 &&
+		rep.Sent == uint64(count)
+}
+
+// verify replays the batch on the device's reference mirror and diffs
+// the verdict histogram and the full map state. A divergence on a
+// chaos-corrupted device is the detection working — the device is
+// quarantined; on any other device it is counted, and the chaos gate
+// requires that count to be zero.
+func (c *Controller) verify(d *device, batch [][]byte, rep nic.Report) {
+	actions, err := d.mi.run(batch)
+	diverged := err != nil
+	if !diverged {
+		for a, n := range rep.Actions {
+			if n > 0 && actions[a] != n {
+				diverged = true
+			}
+		}
+		for a, n := range actions {
+			if n > 0 && rep.Actions[a] != n {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		if err := conformance.CompareMaps(d.mi.env.Maps, d.sh.Maps()); err != nil {
+			diverged = true
+		}
+	}
+	c.rep.VerifiedEpochs++
+	if !diverged {
+		return
+	}
+	if d.corrupted {
+		c.quarantine(d)
+		return
+	}
+	c.rep.VerdictDivergences++
+	c.count(MetricDivergences, 1)
+}
+
+// finalize computes the end-of-run summary.
+func (c *Controller) finalize() {
+	for _, d := range c.devices {
+		st := DeviceStatus{
+			ID: d.id, State: d.state.String(), Updated: d.updated,
+			Reverted: d.reverted, Drains: d.drains,
+			Received: d.received, QueueLost: d.lost,
+			DeathCause: d.deathCause,
+		}
+		c.rep.PerDevice = append(c.rep.PerDevice, st)
+		if d.state == stateDead || d.state == stateQuarantined {
+			c.rep.DeadDevices++
+		}
+	}
+	if c.rollout != nil {
+		c.rep.Rollout = c.rollout.outcome()
+		c.rep.RolloutHalt = c.rollout.haltReason
+	}
+}
+
+// Report returns the report accumulated so far.
+func (c *Controller) Report() Report { return c.rep }
+
+// corruptMaps flips the first byte of the first entry of the first
+// non-empty map — the silent single-device corruption the differential
+// mirror is there to catch.
+func corruptMaps(set *maps.Set) bool {
+	for id := 0; id < set.Len(); id++ {
+		m, ok := set.ByID(id)
+		if !ok {
+			continue
+		}
+		var key, val []byte
+		m.Iterate(func(k, v []byte) bool {
+			key = append([]byte(nil), k...)
+			val = append([]byte(nil), v...)
+			return false
+		})
+		if key == nil {
+			continue
+		}
+		val[0] ^= 0xff
+		if err := m.Update(key, val, maps.UpdateAny); err != nil {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// mirror is a device's reference interpreter: the same program over the
+// same flow partition, clock pinned at zero, diffed each clean epoch.
+type mirror struct {
+	prog *ebpf.Program
+	env  *vm.Env
+	m    *vm.Machine
+}
+
+func newMirror(prog *ebpf.Program, setup func(*maps.Set) error) (*mirror, error) {
+	env, err := vm.NewEnv(prog)
+	if err != nil {
+		return nil, err
+	}
+	env.Now = func() uint64 { return 0 }
+	if setup != nil {
+		if err := setup(env.Maps); err != nil {
+			return nil, err
+		}
+	}
+	m, err := vm.New(prog, env)
+	if err != nil {
+		return nil, err
+	}
+	return &mirror{prog: prog, env: env, m: m}, nil
+}
+
+// run executes one batch and returns the verdict histogram.
+func (mi *mirror) run(batch [][]byte) (map[ebpf.XDPAction]uint64, error) {
+	actions := map[ebpf.XDPAction]uint64{}
+	for _, data := range batch {
+		res, err := mi.m.Run(vm.NewPacket(append([]byte(nil), data...)))
+		if err != nil {
+			return nil, err
+		}
+		actions[res.Action]++
+	}
+	return actions, nil
+}
+
+// rebuild re-bases the mirror on prog with map state copied from the
+// device — used after an update epoch, where the live-update canary
+// owned the diff and the mirror sat out one batch.
+func (mi *mirror) rebuild(prog *ebpf.Program, from *maps.Set) error {
+	fresh, err := newMirror(prog, nil)
+	if err != nil {
+		return err
+	}
+	if err := fresh.env.Maps.Restore(from.Snapshot()); err != nil {
+		return err
+	}
+	*mi = *fresh
+	return nil
+}

@@ -3,6 +3,7 @@ package hwsim
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"ehdl/internal/ebpf"
 	"ehdl/internal/maps"
@@ -67,6 +68,24 @@ func RecoveryBackoff(attempt, base int) uint64 {
 		b = maxBackoff
 	}
 	return b
+}
+
+// RecoveryBackoffJittered is RecoveryBackoff plus a seeded jitter in
+// [0, base): replicas or devices faulted on the same cycle draw
+// different holds, so a fleet never re-enters service in lockstep and
+// re-collides on the same contended resource. A nil rng returns the
+// deterministic schedule unchanged, and the attempt clamping matches
+// RecoveryBackoff exactly; the caller charges the returned (jittered)
+// value to its backoff accounting, so the books stay exact.
+func RecoveryBackoffJittered(attempt, base int, rng *rand.Rand) uint64 {
+	b := RecoveryBackoff(attempt, base)
+	if rng == nil {
+		return b
+	}
+	if base <= 0 {
+		base = 256
+	}
+	return b + uint64(rng.Intn(base))
 }
 
 // initProtection wraps the environment's maps at the configured level
@@ -228,7 +247,7 @@ func (s *Sim) recoverNow(reason string) error {
 		return &RecoveryError{Cycle: s.cycle, Attempts: max, Reason: reason}
 	}
 
-	backoff := RecoveryBackoff(s.recoveryAttempts, s.cfg.RecoveryBackoffCycles)
+	backoff := RecoveryBackoffJittered(s.recoveryAttempts, s.cfg.RecoveryBackoffCycles, s.jitterRng)
 	s.recoveryHold = s.cycle + backoff
 	s.stats.RecoveryBackoffCycles += backoff
 	s.lastRetire = s.cycle

@@ -1,0 +1,70 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRecoveryBackoffJitterBounds pins the jitter window: the jittered
+// hold is never below the deterministic schedule and always strictly
+// less than one base above it, for every attempt including the clamped
+// ones at either end.
+func TestRecoveryBackoffJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, base := range []int{0, 1, 64, 256, 4096} {
+		for attempt := -1; attempt <= 16; attempt++ {
+			det := RecoveryBackoff(attempt, base)
+			effBase := base
+			if effBase <= 0 {
+				effBase = 256
+			}
+			for i := 0; i < 32; i++ {
+				j := RecoveryBackoffJittered(attempt, base, rng)
+				if j < det || j >= det+uint64(effBase) {
+					t.Fatalf("attempt %d base %d: jittered %d outside [%d, %d)",
+						attempt, base, j, det, det+uint64(effBase))
+				}
+			}
+		}
+	}
+}
+
+// TestRecoveryBackoffJitterNilRng: without an rng the function is
+// RecoveryBackoff exactly — legacy callers see no behavior change.
+func TestRecoveryBackoffJitterNilRng(t *testing.T) {
+	for attempt := -1; attempt <= 16; attempt++ {
+		for _, base := range []int{0, 1, 256, 1024} {
+			if got, want := RecoveryBackoffJittered(attempt, base, nil), RecoveryBackoff(attempt, base); got != want {
+				t.Fatalf("attempt %d base %d: nil rng gave %d, want deterministic %d", attempt, base, got, want)
+			}
+		}
+	}
+}
+
+// TestRecoveryBackoffJitterDeterminism: two rngs built from the same
+// seed draw the same jitter sequence, so a fleet chaos run replays
+// byte-identically; different seeds diverge somewhere in the sequence.
+func TestRecoveryBackoffJitterDeterminism(t *testing.T) {
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	c := rand.New(rand.NewSource(8))
+	same, diff := true, false
+	for i := 0; i < 64; i++ {
+		attempt := 1 + i%6
+		ja := RecoveryBackoffJittered(attempt, 256, a)
+		jb := RecoveryBackoffJittered(attempt, 256, b)
+		jc := RecoveryBackoffJittered(attempt, 256, c)
+		if ja != jb {
+			same = false
+		}
+		if ja != jc {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same-seed rngs drew different jitter sequences")
+	}
+	if !diff {
+		t.Error("distinct seeds never diverged in 64 draws")
+	}
+}

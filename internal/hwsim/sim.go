@@ -14,6 +14,7 @@ package hwsim
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
@@ -85,6 +86,15 @@ type Config struct {
 	// RecoveryBackoffCycles is the base of the exponential input-hold
 	// schedule after a recovery (base << attempt-1). 0 means 256.
 	RecoveryBackoffCycles int
+	// RecoveryJitterSeed, when non-zero, adds a seeded jitter in
+	// [0, RecoveryBackoffCycles) to every recovery backoff so that
+	// replicas or fleet devices faulted on the same cycle do not re-
+	// enter service in lockstep. 0 (the default) keeps the exact
+	// deterministic schedule, preserving existing golden runs. The
+	// jittered hold is charged to RecoveryBackoffCycles accounting
+	// exactly, and two simulators with the same seed draw the same
+	// jitter sequence.
+	RecoveryJitterSeed int64
 
 	// Trace, when non-nil, receives the cycle-level event stream: frame
 	// movement through stages, predicate outcomes, WAR-shadow captures,
@@ -425,6 +435,9 @@ type Sim struct {
 	recoveryAttempts     int
 	recoveryHold         uint64
 	handledUncorrectable uint64
+	// jitterRng draws the seeded recovery-backoff jitter; nil keeps the
+	// exact exponential schedule.
+	jitterRng *rand.Rand
 
 	stats      Stats
 	onComplete func(Result)
@@ -483,6 +496,9 @@ func NewWithEnv(pl *core.Pipeline, cfg Config, env *vm.Env) (*Sim, error) {
 		}
 	}
 	s.stats.Actions = map[ebpf.XDPAction]uint64{}
+	if cfg.RecoveryJitterSeed != 0 {
+		s.jitterRng = rand.New(rand.NewSource(cfg.RecoveryJitterSeed))
+	}
 	s.initProtection()
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		s.probes = newProbes(cfg.Trace, cfg.Metrics, env.Maps.Len(), len(pl.Stages))

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ehdl/internal/apps"
+	"ehdl/internal/conformance"
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
 	"ehdl/internal/faults"
@@ -198,6 +199,140 @@ func TestMultiQueueUpdateRollback(t *testing.T) {
 	}
 	if got := binary.LittleEndian.Uint64(v); got != uint64(count) {
 		t.Errorf("counter after rollback = %d, want %d", got, count)
+	}
+}
+
+// flowcountSource counts packets per source IP in a small hash map the
+// data plane itself populates — so a live run carries inserted state an
+// update must migrate into the new banks.
+const flowcountSource = `
+map flows hash key=4 value=8 entries=8
+
+r2 = *(u32 *)(r1 + 4)        ; data_end
+r1 = *(u32 *)(r1 + 0)        ; data
+r3 = r1
+r3 += 34                     ; eth(14) + ip(20)
+if r3 > r2 goto pass         ; bounds check (hardware-elided)
+r4 = *(u32 *)(r1 + 26)       ; src ip (raw byte order)
+*(u32 *)(r10 - 4) = r4
+r1 = map[flows] ll
+r2 = r10
+r2 += -4
+call 1                       ; bpf_map_lookup_elem
+if r0 == 0 goto insert
+r2 = 1
+lock *(u64 *)(r0 + 0) += r2
+r0 = 3                       ; XDP_TX
+exit
+insert:
+*(u64 *)(r10 - 16) = 1
+r1 = map[flows] ll
+r2 = r10
+r2 += -4
+r3 = r10
+r3 += -16
+r4 = 0
+call 2                       ; bpf_map_update_elem
+r0 = 3
+exit
+pass:
+r0 = 2                       ; XDP_PASS
+exit
+`
+
+func flowcountApp() *apps.App {
+	return &apps.App{
+		Name:    "flowcount",
+		Source:  flowcountSource,
+		Traffic: pktgen.GeneratorConfig{Flows: 4, PacketLen: 64},
+	}
+}
+
+// TestMultiQueueMigrateFullRollback forces the failure in the middle of
+// the state migration itself, after the schema gate has passed: the new
+// engine's host setup fills the hash map to capacity with keys no
+// generated flow can collide with (the generator sources from
+// 10.0.0.0/8), so the merged-state bulk copy hits a full map on its
+// first live entry. The swap must roll back with the old replica fleet
+// still serving and the merged map state bit-identical to a run that
+// never attempted the update.
+func TestMultiQueueMigrateFullRollback(t *testing.T) {
+	const count = 1000
+	app := flowcountApp()
+
+	run := func(update bool) (*Shell, Report) {
+		t.Helper()
+		sh := newShell(t, app, core.Options{}, ShellConfig{Queues: 4, Sim: hwsim.Config{InputQueuePackets: 64}})
+		if update {
+			prog, err := app.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prefill := func(set *maps.Set) error {
+				m, ok := set.ByName("flows")
+				if !ok {
+					return errors.New("flows map missing in new engine")
+				}
+				for i := 0; i < 8; i++ {
+					key := []byte{0xff, 0xff, 0xff, byte(i)}
+					if err := m.Update(key, make([]byte, 8), maps.UpdateAny); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			ucfg := liveupdate.Config{Prog: prog, Setup: prefill}
+			if err := sh.ScheduleUpdate(count/2, ucfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gen := pktgen.NewGenerator(app.Traffic)
+		rep, err := sh.RunLoad(gen.Next, count, 100e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh, rep
+	}
+
+	shA, repA := run(true)
+	if repA.UpdatesAttempted != 1 || repA.UpdatesRolledBack != 1 || repA.UpdatesCompleted != 0 {
+		t.Fatalf("attempted %d rolled back %d completed %d, want 1/1/0",
+			repA.UpdatesAttempted, repA.UpdatesRolledBack, repA.UpdatesCompleted)
+	}
+	if repA.UpdateStage != liveupdate.StageRolledBack.String() {
+		t.Errorf("update stage %q, want rolled back", repA.UpdateStage)
+	}
+	if repA.UpdateFailure == "" {
+		t.Error("mid-migration rollback recorded no failure cause")
+	}
+	if shA.Engine() == nil || shA.Engine().Queues() != 4 {
+		t.Error("rollback did not keep a 4-replica engine serving")
+	}
+	if repA.Received != repA.Sent || repA.Lost != 0 {
+		t.Errorf("rollback dropped traffic: received %d of %d, lost %d",
+			repA.Received, repA.Sent, repA.Lost)
+	}
+
+	// The books after the failed update are bit-identical to a run that
+	// never scheduled one: migration writes only touched the discarded
+	// new banks, never the serving state.
+	shB, repB := run(false)
+	if repA.Received != repB.Received {
+		t.Errorf("rollback run received %d, clean run %d", repA.Received, repB.Received)
+	}
+	if err := conformance.CompareMaps(shB.Maps(), shA.Maps()); err != nil {
+		t.Errorf("merged map state diverged from the no-update run: %v", err)
+	}
+	// The prefill keys must not have leaked into the serving state.
+	flows, ok := shA.Maps().ByName("flows")
+	if !ok {
+		t.Fatal("flows map missing after rollback")
+	}
+	if _, found := flows.Lookup([]byte{0xff, 0xff, 0xff, 0}); found {
+		t.Error("a discarded new-bank key leaked into the serving map")
+	}
+	if flows.Len() != 4 {
+		t.Errorf("serving map holds %d flows, want the generator's 4", flows.Len())
 	}
 }
 

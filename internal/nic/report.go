@@ -1,0 +1,113 @@
+package nic
+
+import "ehdl/internal/ebpf"
+
+// Add folds another device's Report into this one, treating the two as
+// parallel shards of one cluster: pure counters sum, rates sum (devices
+// add capacity side by side), latency averages are weighted by the
+// packets that experienced them, and worst-case figures take the max.
+// The fleet controller uses it to build one cluster Report from N
+// per-device runs, so the aggregation rules live here — next to the
+// counter definitions — rather than ad hoc at the call site.
+//
+// Aggregation rules that are not plain sums:
+//
+//   - AvgLatencyNs is Received-weighted; MaxLatencyNs and
+//     P99LatencyCycles take the max across devices.
+//   - MeanStageOccupancy is Cycles-weighted, FlushPenaltyMean is
+//     Flushes-weighted.
+//   - UpdateStage and UpdateFailure keep the first non-empty value, so
+//     the earliest failing device's cause survives aggregation.
+//   - QueueCount sums (total replicas across the fleet) and PerQueue
+//     entries append in device order; Queue indices are per-device and
+//     repeat across shards.
+func (r *Report) Add(o Report) {
+	// Weighted means first, while both sides' weights are still intact.
+	if tot := r.Received + o.Received; tot > 0 {
+		r.AvgLatencyNs = (r.AvgLatencyNs*float64(r.Received) +
+			o.AvgLatencyNs*float64(o.Received)) / float64(tot)
+	}
+	if tot := r.Cycles + o.Cycles; tot > 0 {
+		r.MeanStageOccupancy = (r.MeanStageOccupancy*float64(r.Cycles) +
+			o.MeanStageOccupancy*float64(o.Cycles)) / float64(tot)
+	}
+	if tot := r.Flushes + o.Flushes; tot > 0 {
+		r.FlushPenaltyMean = (r.FlushPenaltyMean*float64(r.Flushes) +
+			o.FlushPenaltyMean*float64(o.Flushes)) / float64(tot)
+	}
+	if o.MaxLatencyNs > r.MaxLatencyNs {
+		r.MaxLatencyNs = o.MaxLatencyNs
+	}
+	if o.P99LatencyCycles > r.P99LatencyCycles {
+		r.P99LatencyCycles = o.P99LatencyCycles
+	}
+
+	// Parallel shards add capacity: rates sum.
+	r.OfferedMpps += o.OfferedMpps
+	r.AchievedMpps += o.AchievedMpps
+	r.OfferedGbps += o.OfferedGbps
+	r.AchievedGbps += o.AchievedGbps
+	r.FlushesPerS += o.FlushesPerS
+
+	// Traffic accounting.
+	r.Sent += o.Sent
+	r.Received += o.Received
+	r.Lost += o.Lost
+	r.Flushes += o.Flushes
+	r.Cycles += o.Cycles
+	if o.Actions != nil {
+		if r.Actions == nil {
+			r.Actions = map[ebpf.XDPAction]uint64{}
+		}
+		for a, n := range o.Actions {
+			r.Actions[a] += n
+		}
+	}
+
+	// Fault-campaign counters.
+	r.FaultsInjected += o.FaultsInjected
+	r.MalformedSent += o.MalformedSent
+	r.MalformedDropped += o.MalformedDropped
+	r.QueueOverflows += o.QueueOverflows
+	r.OverflowBursts += o.OverflowBursts
+	r.WatchdogTrips += o.WatchdogTrips
+
+	// Protection and recovery.
+	r.CorrectedWords += o.CorrectedWords
+	r.UncorrectableWords += o.UncorrectableWords
+	r.ScrubPasses += o.ScrubPasses
+	r.CheckpointsTaken += o.CheckpointsTaken
+	r.Recoveries += o.Recoveries
+	r.RecoveryAborted += o.RecoveryAborted
+	r.RecoveryBackoffCycles += o.RecoveryBackoffCycles
+
+	// Observability totals.
+	r.MapPortOps += o.MapPortOps
+	r.BackpressureCycles += o.BackpressureCycles
+
+	// Live-update outcomes.
+	r.UpdatesAttempted += o.UpdatesAttempted
+	r.UpdatesCompleted += o.UpdatesCompleted
+	r.UpdatesRolledBack += o.UpdatesRolledBack
+	if r.UpdateStage == "" {
+		r.UpdateStage = o.UpdateStage
+	}
+	if r.UpdateFailure == "" {
+		r.UpdateFailure = o.UpdateFailure
+	}
+	r.MigratedEntries += o.MigratedEntries
+	r.DeltaReplayed += o.DeltaReplayed
+	r.CanariedPackets += o.CanariedPackets
+	r.CanaryDivergences += o.CanaryDivergences
+	r.HeldPackets += o.HeldPackets
+	r.PostVerifyChecked += o.PostVerifyChecked
+	r.PostVerifyDivergences += o.PostVerifyDivergences
+	r.MigrationTicks += o.MigrationTicks
+	r.CutoverTicks += o.CutoverTicks
+
+	// Multi-queue breakdown.
+	r.QueueCount += o.QueueCount
+	r.PerQueue = append(r.PerQueue, o.PerQueue...)
+	r.SteerFallbacks += o.SteerFallbacks
+	r.MergeConflicts += o.MergeConflicts
+}

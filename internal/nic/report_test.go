@@ -1,0 +1,153 @@
+package nic
+
+import (
+	"testing"
+
+	"ehdl/internal/ebpf"
+)
+
+// TestReportAdd exercises every aggregation class: plain counter sums
+// (traffic, queue, recovery, update, steer-fallback and merge-conflict
+// counters), capacity-summed rates, weighted latency means, max-folded
+// worst cases and first-non-empty update strings.
+func TestReportAdd(t *testing.T) {
+	a := Report{
+		OfferedMpps:  100,
+		AchievedMpps: 90,
+		Sent:         1000,
+		Received:     900,
+		Lost:         100,
+		AvgLatencyNs: 1000,
+		MaxLatencyNs: 5000,
+		Flushes:      10,
+		Cycles:       4000,
+		Actions:      map[ebpf.XDPAction]uint64{ebpf.XDPTx: 900},
+
+		QueueOverflows: 3,
+		OverflowBursts: 2,
+		WatchdogTrips:  1,
+
+		Recoveries:            2,
+		RecoveryAborted:       5,
+		RecoveryBackoffCycles: 512,
+		CheckpointsTaken:      4,
+
+		UpdatesAttempted:  1,
+		UpdatesCompleted:  1,
+		UpdateStage:       "done",
+		MigratedEntries:   64,
+		CanariedPackets:   32,
+		CanaryDivergences: 0,
+
+		QueueCount:     4,
+		PerQueue:       []QueueReport{{Queue: 0, Received: 450}, {Queue: 1, Received: 450}},
+		SteerFallbacks: 7,
+		MergeConflicts: 0,
+	}
+	b := Report{
+		OfferedMpps:  100,
+		AchievedMpps: 80,
+		Sent:         500,
+		Received:     300,
+		Lost:         200,
+		AvgLatencyNs: 2000,
+		MaxLatencyNs: 4000,
+		Flushes:      30,
+		Cycles:       8000,
+		Actions:      map[ebpf.XDPAction]uint64{ebpf.XDPTx: 200, ebpf.XDPDrop: 100},
+
+		QueueOverflows: 1,
+		OverflowBursts: 1,
+		WatchdogTrips:  2,
+
+		Recoveries:            3,
+		RecoveryAborted:       7,
+		RecoveryBackoffCycles: 1024,
+		CheckpointsTaken:      1,
+
+		UpdatesAttempted:  1,
+		UpdatesRolledBack: 1,
+		UpdateStage:       "rolled-back",
+		UpdateFailure:     "migrate: map full",
+		CanariedPackets:   8,
+		CanaryDivergences: 1,
+
+		QueueCount:     2,
+		PerQueue:       []QueueReport{{Queue: 0, Received: 300}},
+		SteerFallbacks: 3,
+		MergeConflicts: 2,
+	}
+
+	sum := a
+	sum.Actions = map[ebpf.XDPAction]uint64{ebpf.XDPTx: 900}
+	sum.PerQueue = append([]QueueReport(nil), a.PerQueue...)
+	sum.Add(b)
+
+	// Traffic and queue counters.
+	if sum.Sent != 1500 || sum.Received != 1200 || sum.Lost != 300 {
+		t.Errorf("traffic sums: sent %d received %d lost %d", sum.Sent, sum.Received, sum.Lost)
+	}
+	if sum.QueueOverflows != 4 || sum.OverflowBursts != 3 || sum.WatchdogTrips != 3 {
+		t.Errorf("queue counters: %d/%d/%d", sum.QueueOverflows, sum.OverflowBursts, sum.WatchdogTrips)
+	}
+	// Recovery counters.
+	if sum.Recoveries != 5 || sum.RecoveryAborted != 12 || sum.RecoveryBackoffCycles != 1536 || sum.CheckpointsTaken != 5 {
+		t.Errorf("recovery counters: %d/%d/%d/%d",
+			sum.Recoveries, sum.RecoveryAborted, sum.RecoveryBackoffCycles, sum.CheckpointsTaken)
+	}
+	// Update counters and first-non-empty strings.
+	if sum.UpdatesAttempted != 2 || sum.UpdatesCompleted != 1 || sum.UpdatesRolledBack != 1 {
+		t.Errorf("update outcomes: %d/%d/%d", sum.UpdatesAttempted, sum.UpdatesCompleted, sum.UpdatesRolledBack)
+	}
+	if sum.UpdateStage != "done" {
+		t.Errorf("UpdateStage %q, want first non-empty \"done\"", sum.UpdateStage)
+	}
+	if sum.UpdateFailure != "migrate: map full" {
+		t.Errorf("UpdateFailure %q, want carried from second report", sum.UpdateFailure)
+	}
+	if sum.MigratedEntries != 64 || sum.CanariedPackets != 40 || sum.CanaryDivergences != 1 {
+		t.Errorf("migration/canary: %d/%d/%d", sum.MigratedEntries, sum.CanariedPackets, sum.CanaryDivergences)
+	}
+	// Steer fallback and merge conflict counters.
+	if sum.SteerFallbacks != 10 || sum.MergeConflicts != 2 {
+		t.Errorf("steer/merge: %d/%d", sum.SteerFallbacks, sum.MergeConflicts)
+	}
+	// Multi-queue breakdown appends.
+	if sum.QueueCount != 6 || len(sum.PerQueue) != 3 {
+		t.Errorf("queue breakdown: count %d, %d entries", sum.QueueCount, len(sum.PerQueue))
+	}
+	// Rates sum; latency means weight by Received; maxes fold.
+	if sum.OfferedMpps != 200 || sum.AchievedMpps != 170 {
+		t.Errorf("rates: offered %.0f achieved %.0f", sum.OfferedMpps, sum.AchievedMpps)
+	}
+	wantAvg := (1000.0*900 + 2000.0*300) / 1200.0
+	if sum.AvgLatencyNs != wantAvg {
+		t.Errorf("AvgLatencyNs %.2f, want Received-weighted %.2f", sum.AvgLatencyNs, wantAvg)
+	}
+	if sum.MaxLatencyNs != 5000 {
+		t.Errorf("MaxLatencyNs %.0f, want max 5000", sum.MaxLatencyNs)
+	}
+	// Actions merge.
+	if sum.Actions[ebpf.XDPTx] != 1100 || sum.Actions[ebpf.XDPDrop] != 100 {
+		t.Errorf("actions merged to %v", sum.Actions)
+	}
+}
+
+// TestReportAddZero: folding a zero Report changes nothing — the
+// identity the fleet loop relies on when a device sat out an epoch.
+func TestReportAddZero(t *testing.T) {
+	r := Report{Sent: 10, Received: 9, Lost: 1, AvgLatencyNs: 100, MaxLatencyNs: 200,
+		UpdateStage: "done", QueueCount: 1}
+	want := r
+	r.Add(Report{})
+	if r.Sent != want.Sent || r.Received != want.Received || r.Lost != want.Lost ||
+		r.AvgLatencyNs != want.AvgLatencyNs || r.MaxLatencyNs != want.MaxLatencyNs ||
+		r.UpdateStage != want.UpdateStage || r.QueueCount != want.QueueCount {
+		t.Errorf("adding zero report mutated aggregate: %+v -> %+v", want, r)
+	}
+	var z Report
+	z.Add(want)
+	if z.Sent != want.Sent || z.AvgLatencyNs != want.AvgLatencyNs || z.UpdateStage != "done" {
+		t.Errorf("zero + r != r: %+v", z)
+	}
+}

@@ -82,6 +82,15 @@ const (
 	// queue chosen. Aux2: the Toeplitz hash (0 for non-IP frames taking
 	// the queue-0 fallback).
 	KindQueueSteer
+	// KindRolloutPhase marks a fleet rollout transition. Cycle: the
+	// fleet epoch. Aux: the rollout phase entered (a fleet.RolloutPhase
+	// value). Aux2: the device concerned (NoBlock-style ^0 when the
+	// event is fleet-wide).
+	KindRolloutPhase
+	// KindRebalance marks a fleet ring-membership change. Cycle: the
+	// fleet epoch. Aux: the device drained or re-admitted. Aux2: 1 for a
+	// drain, 0 for a re-admit.
+	KindRebalance
 
 	numKinds
 )
@@ -106,6 +115,8 @@ var kindNames = [numKinds]string{
 	KindUpdatePhase:   "update_phase",
 	KindCanaryDiverge: "canary_diverge",
 	KindQueueSteer:    "queue_steer",
+	KindRolloutPhase:  "rollout_phase",
+	KindRebalance:     "rebalance",
 }
 
 // String returns the canonical event-class name.
