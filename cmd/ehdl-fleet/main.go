@@ -9,15 +9,18 @@
 //	ehdl-fleet -devices 8 -update-prog toy -rollout-rate 2
 //	ehdl-fleet -devices 8 -chaos 0.3 -seed 7 -verify
 //	ehdl-fleet -app firewall -devices 4 -epochs 16 -json
+//	ehdl-fleet -devices 4 -tenants firewall:0.5,toy:0.5 -band 50
 //
 // Exit status: 0 on a clean run, 1 on a usage or configuration error
 // (or a rollout that ran out of epochs), 2 when the rollout halted and
-// rolled back, or verification found a verdict divergence on a healthy
-// device.
+// rolled back, verification found a verdict divergence on a healthy
+// device, or a -tenants spec list was rejected by the per-device
+// admission budget gate.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,7 +29,9 @@ import (
 	"ehdl/internal/apps"
 	"ehdl/internal/faults"
 	"ehdl/internal/fleet"
+	"ehdl/internal/nic"
 	"ehdl/internal/obs"
+	"ehdl/internal/tenant"
 )
 
 func main() {
@@ -48,6 +53,9 @@ func run() int {
 		tolerance = flag.Float64("tolerance", 0, "soak-gate throughput floor in percent below baseline (0: benchreg default)")
 		jsonOut   = flag.Bool("json", false, "print the fleet report as JSON instead of text")
 		tracePath = flag.String("trace", "", "write fleet rollout/rebalance events to this file (JSONL)")
+
+		tenantsSpec = flag.String("tenants", "", "multi-tenant devices: comma-separated app:share list admitted on every shard (replaces -app)")
+		tenantBand  = flag.Float64("band", 0, "per-device tenant admission ceiling in percent of fabric utilisation (0: tenant default)")
 	)
 	flag.Parse()
 
@@ -66,20 +74,37 @@ func run() int {
 		return usage(fmt.Errorf("-chaos must be in [0,1], got %g", *chaos))
 	case *rollRate < 2:
 		return usage(fmt.Errorf("-rollout-rate must be >= 2 (update epoch + soak epoch), got %d", *rollRate))
-	}
-
-	app, ok := apps.ByName(*appName)
-	if !ok {
-		return fail(fmt.Errorf("unknown application %q", *appName))
+	case *tenantsSpec != "" && *updProg != "":
+		return usage(fmt.Errorf("fleet-wide rollouts are single-pipeline; tenant updates go through tenant.Device.ScheduleUpdate"))
+	case *tenantsSpec == "" && *tenantBand != 0:
+		return usage(fmt.Errorf("-band only applies with -tenants"))
+	case *tenantBand < 0 || *tenantBand > 100:
+		return usage(fmt.Errorf("-band must be in (0,100], got %g", *tenantBand))
 	}
 
 	cfg := fleet.Config{
 		Devices:      *devices,
-		App:          app,
 		Seed:         *seed,
 		EpochPackets: *packets,
 		OfferedPps:   *rate * 1e6,
 		Verify:       *verify,
+	}
+	workload := *appName
+	if *tenantsSpec != "" {
+		specs, err := tenant.ParseSpecList(*tenantsSpec, nic.ShellConfig{})
+		if err != nil {
+			return usage(err)
+		}
+		cfg.Tenants = specs
+		cfg.TenantBandPct = *tenantBand
+		cfg.Verify = false // tenant mode has no single-pipeline mirror
+		workload = fmt.Sprintf("%d tenants (%s)", len(specs), *tenantsSpec)
+	} else {
+		app, ok := apps.ByName(*appName)
+		if !ok {
+			return fail(fmt.Errorf("unknown application %q", *appName))
+		}
+		cfg.App = app
 	}
 
 	if *chaos > 0 {
@@ -137,10 +162,17 @@ func run() int {
 
 	ctrl, err := fleet.New(cfg)
 	if err != nil {
+		var ae *tenant.AdmissionError
+		if errors.As(err, &ae) {
+			// The per-device budget gate rejected the tenant set: a
+			// distinct exit status for capacity-planning scripts.
+			fmt.Fprintf(os.Stderr, "admission rejected: %v\n", ae)
+			return 2
+		}
 		return fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "fleet: %d devices serving %s, %d epochs x %d packets, seed %d\n",
-		*devices, app.Name, *epochs, *packets, *seed)
+		*devices, workload, *epochs, *packets, *seed)
 	rep, err := ctrl.Run(*epochs)
 	if err != nil {
 		return fail(err)
@@ -180,6 +212,17 @@ func printReport(rep fleet.Report) {
 		rep.Generated, rep.ExtraInjected, rep.Delivered)
 	fmt.Printf("  loss:      queue %d, killed %d, mid-serve %d, unroutable %d (books balance: %v)\n",
 		rep.QueueLost, rep.KilledLoss, rep.MidServeLoss, rep.UnroutableLoss, rep.Accounted())
+	if rep.ThrottledLoss+rep.QuarantinedLoss+rep.TenantDownLoss > 0 {
+		fmt.Printf("  tenancy:   throttled %d, quarantined %d, tenant-down %d\n",
+			rep.ThrottledLoss, rep.QuarantinedLoss, rep.TenantDownLoss)
+	}
+	if len(rep.Device.PerTenant) > 0 {
+		fmt.Printf("  tenants:\n")
+		for _, sl := range rep.Device.PerTenant {
+			fmt.Printf("    %-14s vlan %-4d steered %7d received %7d throttled %5d lost %4d down %4d\n",
+				sl.Name, sl.VLAN, sl.Steered, sl.Received, sl.Throttled, sl.Lost, sl.DownLoss)
+		}
+	}
 	fmt.Printf("  verify:    %d device-epochs diffed, %d divergences, %d quarantines\n",
 		rep.VerifiedEpochs, rep.VerdictDivergences, rep.Quarantines)
 	fmt.Printf("  health:    %d drains, %d readmits, %d kills, %d dead\n",
@@ -204,6 +247,9 @@ func printReport(rep fleet.Report) {
 		}
 		if d.DeathCause != "" {
 			fmt.Printf("  (%s)", d.DeathCause)
+		}
+		if d.DeadTenants > 0 {
+			fmt.Printf("  [%d dead tenants]", d.DeadTenants)
 		}
 		fmt.Println()
 	}

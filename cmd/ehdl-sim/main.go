@@ -11,10 +11,12 @@
 //	ehdl-sim -app firewall -trace out.jsonl -metrics
 //	ehdl-sim -app router -cpuprofile cpu.out -pprof localhost:6060
 //	ehdl-sim -app firewall -update-prog leakybucket -update-after 5000
+//	ehdl-sim -tenants firewall:0.5,toy:0.25,router:0.25 -packets 20000
 //
 // Exit status: 0 on a clean run, 1 on a usage or configuration error,
-// 2 when the pipeline declared itself unrecoverable or a scheduled
-// live update was rolled back.
+// 2 when the pipeline declared itself unrecoverable, a scheduled live
+// update was rolled back, or a -tenants admission was rejected by the
+// hdl resource-budget gate.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"ehdl/internal/obs"
 	"ehdl/internal/pktgen"
 	"ehdl/internal/protect"
+	"ehdl/internal/tenant"
 )
 
 func main() {
@@ -57,6 +60,9 @@ func run() int {
 		scrubEach = flag.Int("scrub-interval", 0, "scrubber budget in cycles per checked word (0: default 8)")
 		maxRecov  = flag.Int("max-recoveries", 0, "drain-and-restart budget between clean scrub passes (0: default 8, negative: unbounded)")
 		recJitter = flag.Int64("recovery-jitter", 0, "seed of the recovery-backoff jitter (0: exact deterministic schedule)")
+
+		tenantsSpec = flag.String("tenants", "", "multi-tenant mode: comma-separated app:share list (e.g. firewall:0.5,toy:0.5); VLANs auto-assigned from 100")
+		tenantBand  = flag.Float64("band", 0, "multi-tenant admission ceiling in percent of device utilisation (0: default 70)")
 
 		updProg     = flag.String("update-prog", "", "hot-swap to this application mid-run (requires -update-after)")
 		updAfter    = flag.Int("update-after", -1, "arm the live update after this many offered packets (requires -update-prog)")
@@ -106,6 +112,18 @@ func run() int {
 		return usage(fmt.Errorf("-update-deadline must be >= 0, got %d", *updDeadline))
 	case *updProg != "" && *updAfter >= *packets:
 		return usage(fmt.Errorf("-update-after %d never triggers within -packets %d", *updAfter, *packets))
+	case *tenantsSpec != "" && *updProg != "":
+		return usage(fmt.Errorf("-tenants runs per-tenant pipelines; -update-prog drives the single-pipeline shell"))
+	case *tenantsSpec != "" && *queues > 1:
+		return usage(fmt.Errorf("-tenants and -queues are different scale-out axes; pick one"))
+	case *tenantsSpec != "" && *replay != "":
+		return usage(fmt.Errorf("-tenants generates each tenant's own traffic; -replay is single-pipeline only"))
+	case *tenantsSpec != "" && (*flows > 0 || *pktLen > 0):
+		return usage(fmt.Errorf("-flows/-pktlen shape one app's traffic; tenant traffic comes from each tenant's app profile"))
+	case *tenantsSpec == "" && *tenantBand != 0:
+		return usage(fmt.Errorf("-band only applies with -tenants"))
+	case *tenantBand < 0 || *tenantBand > 100:
+		return usage(fmt.Errorf("-band must be in (0,100], got %g", *tenantBand))
 	}
 
 	prof := obs.ProfileConfig{
@@ -129,6 +147,56 @@ func run() int {
 		}()
 	}
 
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	var tr *obs.Tracer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		var sink obs.Sink
+		if *traceText {
+			sink = obs.NewTextSink(f)
+		} else {
+			sink = obs.NewJSONLSink(f)
+		}
+		tr = obs.NewTracer(0, sink)
+		defer func() {
+			if err := tr.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Printf("\ntrace: %d events written to %s\n", tr.Emitted(), *tracePath)
+		}()
+	}
+
+	level, err := protect.ParseLevel(*protLevel)
+	if err != nil {
+		return fail(err)
+	}
+
+	if *tenantsSpec != "" {
+		return runTenants(tenantRun{
+			spec:      *tenantsSpec,
+			band:      *tenantBand,
+			packets:   *packets,
+			rate:      *rate,
+			policy:    *policy,
+			intensity: *intensity,
+			faultSeed: *faultSeed,
+			watchdog:  *watchdog,
+			level:     level,
+			scrubEach: *scrubEach,
+			maxRecov:  *maxRecov,
+			recJitter: *recJitter,
+			trace:     tr,
+			metrics:   reg,
+		})
+	}
+
 	app, ok := apps.ByName(*appName)
 	if !ok {
 		return fail(fmt.Errorf("unknown application %q", *appName))
@@ -150,42 +218,12 @@ func run() int {
 		cfg.Faults = faults.Profile(*intensity, *faultSeed)
 	}
 	cfg.Sim.WatchdogCycles = *watchdog
-	level, err := protect.ParseLevel(*protLevel)
-	if err != nil {
-		return fail(err)
-	}
 	cfg.Sim.Protection = level
 	cfg.Sim.ScrubCyclesPerWord = *scrubEach
 	cfg.Sim.MaxRecoveries = *maxRecov
 	cfg.Sim.RecoveryJitterSeed = *recJitter
-
-	var reg *obs.Registry
-	if *metrics {
-		reg = obs.NewRegistry()
-		cfg.Sim.Metrics = reg
-	}
-	var tr *obs.Tracer
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			return fail(err)
-		}
-		defer f.Close()
-		var sink obs.Sink
-		if *traceText {
-			sink = obs.NewTextSink(f)
-		} else {
-			sink = obs.NewJSONLSink(f)
-		}
-		tr = obs.NewTracer(0, sink)
-		cfg.Sim.Trace = tr
-		defer func() {
-			if err := tr.Flush(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-			fmt.Printf("\ntrace: %d events written to %s\n", tr.Emitted(), *tracePath)
-		}()
-	}
+	cfg.Sim.Metrics = reg
+	cfg.Sim.Trace = tr
 
 	sh, err := nic.New(pl, cfg)
 	if err != nil {
@@ -329,6 +367,109 @@ func run() int {
 		// requested swap did not happen: campaign scripts need to know.
 		fmt.Fprintf(os.Stderr, "update rolled back: %s\n", rep.UpdateFailure)
 		return 2
+	}
+	return 0
+}
+
+// tenantRun carries the flag values the multi-tenant mode consumes.
+type tenantRun struct {
+	spec      string
+	band      float64
+	packets   int
+	rate      float64
+	policy    string
+	intensity float64
+	faultSeed int64
+	watchdog  int
+	level     protect.Level
+	scrubEach int
+	maxRecov  int
+	recJitter int64
+	trace     *obs.Tracer
+	metrics   *obs.Registry
+}
+
+// runTenants is the -tenants mode: one simulated device, M tenant
+// pipelines behind the VLAN classifier, admission priced against the
+// FPGA budget. An admission rejection is exit 2 — the device is fine,
+// the requested tenant set just does not fit the fabric.
+func runTenants(r tenantRun) int {
+	shell := nic.ShellConfig{}
+	if r.policy == "stall" {
+		shell.Sim.Policy = hwsim.PolicyStall
+	}
+	shell.Sim.WatchdogCycles = r.watchdog
+	shell.Sim.Protection = r.level
+	shell.Sim.ScrubCyclesPerWord = r.scrubEach
+	shell.Sim.MaxRecoveries = r.maxRecov
+	shell.Sim.RecoveryJitterSeed = r.recJitter
+
+	specs, err := tenant.ParseSpecList(r.spec, shell)
+	if err != nil {
+		return usage(err)
+	}
+	dcfg := tenant.DeviceConfig{
+		UtilisationBandPct: r.band,
+		Seed:               r.faultSeed,
+		Trace:              r.trace,
+		Metrics:            r.metrics,
+	}
+	if r.intensity > 0 {
+		dcfg.Chaos = faults.Profile(r.intensity, r.faultSeed)
+	}
+	dev := tenant.NewDevice(dcfg)
+	for _, sp := range specs {
+		tn, err := dev.AdmitTenant(sp)
+		if err != nil {
+			var ae *tenant.AdmissionError
+			if errors.As(err, &ae) {
+				// The budget gate spoke: report the priced shortfall with a
+				// distinct exit status so campaign scripts can tell "does
+				// not fit" from configuration mistakes.
+				fmt.Fprintf(os.Stderr, "admission rejected: %v\n", ae)
+				return 2
+			}
+			return fail(err)
+		}
+		fmt.Printf("admitted %-16s share %.2f vlan %d  est %d LUTs %d BRAM  util %.2f%%\n",
+			tn.Spec.Name, tn.Spec.Share, tn.Spec.VLAN, tn.Est.LUTs, tn.Est.BRAM36, dev.Utilisation())
+	}
+
+	offered := r.rate * 1e6
+	if offered <= 0 {
+		offered = 148.8e6 // 64B line rate at 100G
+	}
+	mux := tenant.NewTrafficMux(specs, r.faultSeed)
+	fmt.Printf("running %d tenants: %d packets at %.1f Mpps offered, device at %.2f%% of the fabric\n",
+		len(specs), r.packets, offered/1e6, dev.Utilisation())
+	rep, err := dev.RunLoad(mux.Next, r.packets, offered)
+	if err != nil {
+		return fail(err)
+	}
+
+	fmt.Printf("\nresults:\n")
+	fmt.Printf("  received:  %d of %d (lost %d, throttled %d, quarantined %d, tenant-down %d)\n",
+		rep.Received, rep.Sent, rep.Lost, rep.Throttled, rep.Quarantined, rep.TenantDownLoss)
+	fmt.Printf("  ledger:    accounted=%v\n", rep.Accounted())
+	fmt.Printf("\nper-tenant:\n")
+	for _, sl := range rep.PerTenant {
+		fmt.Printf("  %-16s vlan %-4d steered %6d admitted %6d throttled %5d received %6d lost %4d down %4d  %7.2f Mpps\n",
+			sl.Name, sl.VLAN, sl.Steered, sl.Admitted, sl.Throttled, sl.Received, sl.Lost, sl.DownLoss, sl.AchievedMpps)
+		if sl.FaultsInjected > 0 || sl.Recoveries > 0 {
+			fmt.Printf("  %-16s faults %d, recoveries %d, watchdog trips %d\n",
+				"", sl.FaultsInjected, sl.Recoveries, sl.WatchdogTrips)
+		}
+	}
+	for _, tn := range dev.Tenants() {
+		if tn.Dead() {
+			fmt.Printf("  %-16s DEAD: %s\n", tn.Spec.Name, tn.DeathCause())
+		}
+	}
+	if r.metrics != nil {
+		fmt.Printf("\nmetrics registry:\n")
+		if err := r.metrics.Render(os.Stdout); err != nil {
+			return fail(err)
+		}
 	}
 	return 0
 }

@@ -110,6 +110,7 @@ func All() map[string]Runner {
 		"protection":  ProtectionAblation,
 		"liveupdate":  LiveUpdateUnderLoad,
 		"scaling":     Scaling,
+		"tenancy":     Tenancy,
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"ehdl/internal/obs"
 	"ehdl/internal/pktgen"
 	"ehdl/internal/rss"
+	"ehdl/internal/tenant"
 	"ehdl/internal/vm"
 )
 
@@ -95,6 +96,21 @@ type Config struct {
 	// Update, when non-nil, arms a rolling canary update across the
 	// fleet.
 	Update *UpdateConfig
+
+	// Tenants, when non-empty, runs every device as a multi-tenant
+	// tenant.Device instead of a single-pipeline shell: the same spec
+	// list is admitted on each shard (priced against the per-device FPGA
+	// budget — an admission rejection fails New with the typed
+	// tenant.AdmissionError), traffic comes from the tenants' own
+	// VLAN-tagged mux, and per-tenant sub-reports fold into the fleet
+	// view through Report.Device. App/Opts/Shell are ignored (each spec
+	// carries its own shell template); Verify, Update and CorruptAt are
+	// single-pipeline machinery and are rejected in tenant mode.
+	Tenants []tenant.Spec
+	// TenantBandPct is the per-device admission ceiling, forwarded to
+	// tenant.DeviceConfig.UtilisationBandPct. 0 means the tenant
+	// package default.
+	TenantBandPct float64
 
 	// DrainRecoveries is the per-epoch recovery count that drains a
 	// device from the ring. 0 means 1 (any recovery drains).
@@ -220,10 +236,12 @@ var stateNames = [...]string{"healthy", "cooling", "dead", "quarantined"}
 
 func (s devState) String() string { return stateNames[s] }
 
-// device is one fleet shard.
+// device is one fleet shard: a single-pipeline shell (sh) or, in
+// tenant mode, a multi-tenant device (td).
 type device struct {
 	id int
 	sh *nic.Shell
+	td *tenant.Device
 	mi *mirror
 	// prog is the program the device currently serves (flips with
 	// committed updates and reverts); the mirror rebuilds against it.
@@ -257,6 +275,9 @@ type Controller struct {
 	ring    *ring
 	hasher  *rss.Hasher
 	gen     *pktgen.Generator
+	// next yields the next generated frame: the single app's generator,
+	// or the tenants' VLAN-tagged mux in tenant mode.
+	next func() []byte
 	// rng draws fleet-level jitter (cool-down spread). Device-level
 	// randomness lives in the per-device injector forks.
 	rng     *rand.Rand
@@ -277,6 +298,9 @@ func mix(v int64) int64 {
 // New builds the fleet: per-device compiled pipelines, shells, fault
 // forks and (under Verify) reference mirrors, all on one ring.
 func New(cfg Config) (*Controller, error) {
+	if len(cfg.Tenants) > 0 {
+		return newTenantFleet(cfg)
+	}
 	if cfg.App == nil {
 		return nil, fmt.Errorf("fleet: an app is required")
 	}
@@ -302,6 +326,7 @@ func New(cfg Config) (*Controller, error) {
 	traffic := cfg.App.Traffic
 	traffic.Seed = mix(cfg.seed() + 1)
 	c.gen = pktgen.NewGenerator(traffic)
+	c.next = c.gen.Next
 
 	for i := 0; i < n; i++ {
 		pl, err := core.Compile(prog, cfg.Opts)
@@ -337,6 +362,56 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.Update != nil {
 		c.rollout = newRollout(cfg.Update, n)
+	}
+	c.rep.Devices = n
+	c.rep.Seed = cfg.seed()
+	return c, nil
+}
+
+// newTenantFleet builds the multi-tenant fleet: every shard is a
+// tenant.Device admitting the same spec list against its own FPGA
+// budget, fed from one VLAN-tagged tenant traffic mux through the same
+// consistent-hash ring (tagged frames hash by their inner 5-tuple).
+func newTenantFleet(cfg Config) (*Controller, error) {
+	switch {
+	case cfg.Verify:
+		return nil, fmt.Errorf("fleet: tenant mode has no reference mirror; Verify must be off")
+	case cfg.Update != nil:
+		return nil, fmt.Errorf("fleet: rolling updates are per-tenant in tenant mode (tenant.Device.ScheduleUpdate), not fleet-wide")
+	case len(cfg.CorruptAt) > 0:
+		return nil, fmt.Errorf("fleet: CorruptAt targets a single-pipeline map set; unsupported in tenant mode")
+	}
+	hasher, err := rss.NewHasher(nil)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.devices()
+	c := &Controller{
+		cfg:    cfg,
+		ring:   newRing(cfg.VNodes),
+		hasher: hasher,
+		rng:    rand.New(rand.NewSource(mix(cfg.seed()))),
+	}
+	mux := tenant.NewTrafficMux(cfg.Tenants, mix(cfg.seed()+1))
+	c.next = mux.Next
+
+	for i := 0; i < n; i++ {
+		dcfg := tenant.DeviceConfig{
+			UtilisationBandPct: cfg.TenantBandPct,
+			EpochPackets:       cfg.epochPackets(),
+			Seed:               mix(cfg.seed() + 200 + int64(i)),
+		}
+		if cfg.Chaos.Enabled() {
+			dcfg.Chaos = cfg.Chaos.Fork(int64(i) + 1)
+		}
+		td := tenant.NewDevice(dcfg)
+		for _, sp := range cfg.Tenants {
+			if _, err := td.AdmitTenant(sp); err != nil {
+				return nil, fmt.Errorf("fleet: device %d: %w", i, err)
+			}
+		}
+		c.devices = append(c.devices, &device{id: i, td: td})
+		c.ring.Add(i)
 	}
 	c.rep.Devices = n
 	c.rep.Seed = cfg.seed()
@@ -462,7 +537,7 @@ func (c *Controller) partition() [][][]byte {
 	batches := make([][][]byte, len(c.devices))
 	n := c.cfg.epochPackets()
 	for i := 0; i < n; i++ {
-		pkt := c.gen.Next()
+		pkt := c.next()
 		hash, ok := c.hasher.HashPacket(pkt)
 		if !ok {
 			hash = 0
@@ -496,7 +571,16 @@ func (c *Controller) serve(d *device, batch [][]byte) {
 		i++
 		return append([]byte(nil), pkt...)
 	}
-	rep, err := d.sh.RunLoad(next, count, c.cfg.offeredPps())
+	var rep nic.Report
+	var err error
+	if d.td != nil {
+		// Tenant mode: the device's own classifier/policer owns the
+		// batch; tenant-local failures are contained inside Serve and
+		// come back as TenantDownLoss, not as an error.
+		rep, err = d.td.Serve(batch, c.cfg.offeredPps())
+	} else {
+		rep, err = d.sh.RunLoad(next, count, c.cfg.offeredPps())
+	}
 	if err != nil {
 		// Unrecoverable device death mid-serve (recovery budget
 		// exhausted): retired packets stay delivered, the rest of the
@@ -515,6 +599,9 @@ func (c *Controller) serve(d *device, batch [][]byte) {
 	}
 	c.rep.Delivered += rep.Received
 	c.rep.QueueLost += rep.Lost
+	c.rep.ThrottledLoss += rep.Throttled
+	c.rep.QuarantinedLoss += rep.Quarantined
+	c.rep.TenantDownLoss += rep.TenantDownLoss
 	c.rep.ExtraInjected += rep.Sent - uint64(count)
 	c.rep.Device.Add(rep)
 	c.count(MetricDelivered, rep.Received)
@@ -630,6 +717,13 @@ func (c *Controller) finalize() {
 			Reverted: d.reverted, Drains: d.drains,
 			Received: d.received, QueueLost: d.lost,
 			DeathCause: d.deathCause,
+		}
+		if d.td != nil {
+			for _, tn := range d.td.Tenants() {
+				if tn.Dead() {
+					st.DeadTenants++
+				}
+			}
 		}
 		c.rep.PerDevice = append(c.rep.PerDevice, st)
 		if d.state == stateDead || d.state == stateQuarantined {

@@ -32,6 +32,16 @@ type Report struct {
 	MidServeLoss   uint64 `json:"mid_serve_loss"`
 	UnroutableLoss uint64 `json:"unroutable_loss"`
 
+	// Tenant-mode ledger lines (zero on single-pipeline fleets):
+	// ThrottledLoss is overload shed by per-tenant token buckets,
+	// QuarantinedLoss counts frames no tenant classifier rule claimed,
+	// TenantDownLoss counts frames addressed to tenants that died in
+	// place (contained failures that never removed the device from the
+	// ring).
+	ThrottledLoss   uint64 `json:"throttled_loss,omitempty"`
+	QuarantinedLoss uint64 `json:"quarantined_loss,omitempty"`
+	TenantDownLoss  uint64 `json:"tenant_down_loss,omitempty"`
+
 	// VerifiedEpochs counts device-epochs diffed against the reference
 	// mirror; VerdictDivergences counts divergences on devices that
 	// were NOT deliberately corrupted (the chaos gate requires zero).
@@ -71,17 +81,24 @@ type DeviceStatus struct {
 	Received   uint64 `json:"received"`
 	QueueLost  uint64 `json:"queue_lost"`
 	DeathCause string `json:"death_cause,omitempty"`
+	// DeadTenants counts tenant pipelines that died in place on this
+	// shard (tenant mode only; the device itself kept serving).
+	DeadTenants int `json:"dead_tenants,omitempty"`
 }
 
 // Accounted reports whether the loss books balance exactly:
 //
 //	Generated + ExtraInjected ==
-//	    Delivered + QueueLost + KilledLoss + MidServeLoss + UnroutableLoss
+//	    Delivered + QueueLost + ThrottledLoss + QuarantinedLoss +
+//	    TenantDownLoss + KilledLoss + MidServeLoss + UnroutableLoss
 //
 // The chaos gate asserts this after every run — loss under chaos is
 // bounded (a kill loses at most one partition) and every packet has
-// exactly one ledger line.
+// exactly one ledger line. The three tenant-mode lines are zero on
+// single-pipeline fleets, where the identity reduces to the classic
+// five-way split.
 func (r Report) Accounted() bool {
 	return r.Generated+r.ExtraInjected ==
-		r.Delivered+r.QueueLost+r.KilledLoss+r.MidServeLoss+r.UnroutableLoss
+		r.Delivered+r.QueueLost+r.ThrottledLoss+r.QuarantinedLoss+
+			r.TenantDownLoss+r.KilledLoss+r.MidServeLoss+r.UnroutableLoss
 }

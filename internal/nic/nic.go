@@ -297,6 +297,27 @@ type Report struct {
 	// bank — zero while flow pinning holds (anything else is a
 	// dispatcher bug surfaced by the merge).
 	MergeConflicts uint64
+
+	// Multi-tenant measurements (all zero off a multi-tenant device).
+	// On a tenant device Sent counts every classified arrival plus
+	// fault-injected extras, so the ledger identity Accounted() holds:
+	// each arrival lands in exactly one of Received, Lost, Throttled,
+	// Quarantined or TenantDownLoss.
+
+	// Throttled counts frames shed by per-tenant token-bucket ingress
+	// policing (a tenant exceeding its share loses its own frames, not
+	// a neighbour's).
+	Throttled uint64
+	// Quarantined counts unclassifiable frames steered to the device
+	// quarantine bucket because no default tenant was configured. They
+	// are counted and traced, never dropped silently.
+	Quarantined uint64
+	// TenantDownLoss counts frames addressed to a tenant whose pipeline
+	// died unrecoverably: the unserved remainder at death plus every
+	// later arrival for it.
+	TenantDownLoss uint64
+	// PerTenant breaks the run down by tenant.
+	PerTenant []TenantSlice
 }
 
 // QueueReport is one replica's slice of a multi-queue run.

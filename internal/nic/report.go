@@ -2,6 +2,113 @@ package nic
 
 import "ehdl/internal/ebpf"
 
+// TenantSlice is one tenant's slice of a multi-tenant device run: the
+// per-tenant ledger (classifier steering, token-bucket policing,
+// tenant-death loss) plus the tenant's own traffic, fault, recovery and
+// update figures. The slice carries its own identity:
+//
+//	Steered == Admitted + Throttled + DownLoss
+//	Sent    == Admitted + overflow extras == Received + Lost
+//
+// so per-tenant loss is exactly accounted, never inferred.
+type TenantSlice struct {
+	// Name identifies the tenant; Add merges slices by it.
+	Name string `json:"name"`
+	// VLAN is the tenant's classifier tag (0: 5-tuple rules only).
+	VLAN uint16 `json:"vlan,omitempty"`
+
+	// Steered counts arrivals the classifier attributed to the tenant
+	// (including quarantine steers when the tenant is the default).
+	Steered uint64 `json:"steered"`
+	// Admitted counts steered frames that passed the token bucket into
+	// the tenant's pipeline; Throttled counts the shed overload.
+	Admitted  uint64 `json:"admitted"`
+	Throttled uint64 `json:"throttled"`
+	// DownLoss counts frames lost to the tenant's own unrecoverable
+	// pipeline death — contained to this tenant by construction.
+	DownLoss uint64 `json:"down_loss"`
+
+	// Shell-side accounting, nic.Report semantics.
+	Sent     uint64 `json:"sent"`
+	Received uint64 `json:"received"`
+	Lost     uint64 `json:"lost"`
+	Flushes  uint64 `json:"flushes"`
+	Cycles   uint64 `json:"cycles"`
+
+	// Fault and recovery containment figures.
+	FaultsInjected uint64 `json:"faults_injected"`
+	MalformedSent  uint64 `json:"malformed_sent"`
+	Recoveries     uint64 `json:"recoveries"`
+	WatchdogTrips  uint64 `json:"watchdog_trips"`
+
+	// Per-tenant hitless-update outcomes.
+	UpdatesCompleted  uint64 `json:"updates_completed"`
+	UpdatesRolledBack uint64 `json:"updates_rolled_back"`
+
+	AchievedMpps float64 `json:"achieved_mpps"`
+	// AvgLatencyNs is Received-weighted under Add.
+	AvgLatencyNs float64 `json:"avg_latency_ns"`
+
+	Actions map[ebpf.XDPAction]uint64 `json:"actions,omitempty"`
+}
+
+// Accounted states the per-tenant ledger: every steered frame is
+// admitted, throttled or lost to the tenant's death, and everything the
+// tenant's pipeline was offered retired or was dropped by its ingress
+// queue. Both identities are additive, so they survive Add-merges.
+func (s TenantSlice) Accounted() bool {
+	return s.Steered == s.Admitted+s.Throttled+s.DownLoss &&
+		s.Sent == s.Received+s.Lost
+}
+
+// add folds another slice of the same tenant into this one.
+func (s *TenantSlice) add(o TenantSlice) {
+	if tot := s.Received + o.Received; tot > 0 {
+		s.AvgLatencyNs = (s.AvgLatencyNs*float64(s.Received) +
+			o.AvgLatencyNs*float64(o.Received)) / float64(tot)
+	}
+	if s.VLAN == 0 {
+		s.VLAN = o.VLAN
+	}
+	s.Steered += o.Steered
+	s.Admitted += o.Admitted
+	s.Throttled += o.Throttled
+	s.DownLoss += o.DownLoss
+	s.Sent += o.Sent
+	s.Received += o.Received
+	s.Lost += o.Lost
+	s.Flushes += o.Flushes
+	s.Cycles += o.Cycles
+	s.FaultsInjected += o.FaultsInjected
+	s.MalformedSent += o.MalformedSent
+	s.Recoveries += o.Recoveries
+	s.WatchdogTrips += o.WatchdogTrips
+	s.UpdatesCompleted += o.UpdatesCompleted
+	s.UpdatesRolledBack += o.UpdatesRolledBack
+	s.AchievedMpps += o.AchievedMpps
+	if o.Actions != nil {
+		if s.Actions == nil {
+			s.Actions = map[ebpf.XDPAction]uint64{}
+		}
+		for a, n := range o.Actions {
+			s.Actions[a] += n
+		}
+	}
+}
+
+// Accounted states the device-level loss ledger: every offered frame
+// lands in exactly one of Received (retired with a verdict, aborted
+// included), Lost (ingress back-pressure), Throttled (per-tenant
+// policing), Quarantined (unclassifiable, no default tenant) or
+// TenantDownLoss (tenant pipeline dead). On a classic single-program
+// shell the last three are zero and the identity reduces to
+// Sent == Received + Lost. The identity is additive, so it survives
+// Add-merges across epochs, queues, tenants and fleet shards — the
+// noisy-neighbor and fleet chaos gates assert it after every run.
+func (r Report) Accounted() bool {
+	return r.Sent == r.Received+r.Lost+r.Throttled+r.Quarantined+r.TenantDownLoss
+}
+
 // Add folds another device's Report into this one, treating the two as
 // parallel shards of one cluster: pure counters sum, rates sum (devices
 // add capacity side by side), latency averages are weighted by the
@@ -18,9 +125,12 @@ import "ehdl/internal/ebpf"
 //     Flushes-weighted.
 //   - UpdateStage and UpdateFailure keep the first non-empty value, so
 //     the earliest failing device's cause survives aggregation.
-//   - QueueCount sums (total replicas across the fleet) and PerQueue
-//     entries append in device order; Queue indices are per-device and
-//     repeat across shards.
+//   - QueueCount takes the max (the widest replica set that served any
+//     merged run) and PerQueue entries merge by queue index: the same
+//     replica's slices across epochs or shards fold into one breakdown
+//     row instead of appending duplicates.
+//   - PerTenant sub-reports merge by tenant name, so a tenant's ledger
+//     stays one row across epoch folds and fleet aggregation.
 func (r *Report) Add(o Report) {
 	// Weighted means first, while both sides' weights are still intact.
 	if tot := r.Received + o.Received; tot > 0 {
@@ -105,9 +215,53 @@ func (r *Report) Add(o Report) {
 	r.MigrationTicks += o.MigrationTicks
 	r.CutoverTicks += o.CutoverTicks
 
-	// Multi-queue breakdown.
-	r.QueueCount += o.QueueCount
-	r.PerQueue = append(r.PerQueue, o.PerQueue...)
+	// Multi-queue breakdown: the same replica index folds into one row.
+	if o.QueueCount > r.QueueCount {
+		r.QueueCount = o.QueueCount
+	}
+	for _, oq := range o.PerQueue {
+		merged := false
+		for i := range r.PerQueue {
+			if r.PerQueue[i].Queue == oq.Queue {
+				r.PerQueue[i].Steered += oq.Steered
+				r.PerQueue[i].Received += oq.Received
+				r.PerQueue[i].Lost += oq.Lost
+				r.PerQueue[i].Flushes += oq.Flushes
+				r.PerQueue[i].Cycles += oq.Cycles
+				r.PerQueue[i].AchievedMpps += oq.AchievedMpps
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			r.PerQueue = append(r.PerQueue, oq)
+		}
+	}
 	r.SteerFallbacks += o.SteerFallbacks
 	r.MergeConflicts += o.MergeConflicts
+
+	// Multi-tenant breakdown: the same tenant folds into one ledger row.
+	r.Throttled += o.Throttled
+	r.Quarantined += o.Quarantined
+	r.TenantDownLoss += o.TenantDownLoss
+	for _, ot := range o.PerTenant {
+		merged := false
+		for i := range r.PerTenant {
+			if r.PerTenant[i].Name == ot.Name {
+				r.PerTenant[i].add(ot)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			cp := ot
+			if ot.Actions != nil {
+				cp.Actions = map[ebpf.XDPAction]uint64{}
+				for a, n := range ot.Actions {
+					cp.Actions[a] += n
+				}
+			}
+			r.PerTenant = append(r.PerTenant, cp)
+		}
+	}
 }

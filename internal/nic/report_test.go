@@ -112,9 +112,17 @@ func TestReportAdd(t *testing.T) {
 	if sum.SteerFallbacks != 10 || sum.MergeConflicts != 2 {
 		t.Errorf("steer/merge: %d/%d", sum.SteerFallbacks, sum.MergeConflicts)
 	}
-	// Multi-queue breakdown appends.
-	if sum.QueueCount != 6 || len(sum.PerQueue) != 3 {
+	// Multi-queue breakdown: QueueCount max-folds (the widest replica
+	// set, not a double count of the same replicas across epochs) and
+	// PerQueue merges by queue index.
+	if sum.QueueCount != 4 || len(sum.PerQueue) != 2 {
 		t.Errorf("queue breakdown: count %d, %d entries", sum.QueueCount, len(sum.PerQueue))
+	}
+	if sum.PerQueue[0].Queue != 0 || sum.PerQueue[0].Received != 750 {
+		t.Errorf("queue 0 merged to %+v, want Received 750", sum.PerQueue[0])
+	}
+	if sum.PerQueue[1].Queue != 1 || sum.PerQueue[1].Received != 450 {
+		t.Errorf("queue 1 merged to %+v, want Received 450", sum.PerQueue[1])
 	}
 	// Rates sum; latency means weight by Received; maxes fold.
 	if sum.OfferedMpps != 200 || sum.AchievedMpps != 170 {
@@ -130,6 +138,119 @@ func TestReportAdd(t *testing.T) {
 	// Actions merge.
 	if sum.Actions[ebpf.XDPTx] != 1100 || sum.Actions[ebpf.XDPDrop] != 100 {
 		t.Errorf("actions merged to %v", sum.Actions)
+	}
+}
+
+// TestReportAddPerTenant: tenant slices merge by name — the same
+// tenant's ledger stays one row across epoch folds and fleet
+// aggregation — and every slice counter sums while the latency mean
+// stays Received-weighted.
+func TestReportAddPerTenant(t *testing.T) {
+	a := Report{
+		Sent: 100, Received: 90, Lost: 4, Throttled: 3, Quarantined: 2, TenantDownLoss: 1,
+		PerTenant: []TenantSlice{
+			{Name: "alpha", VLAN: 100, Steered: 60, Admitted: 57, Throttled: 3,
+				Sent: 57, Received: 55, Lost: 2, AvgLatencyNs: 100, AchievedMpps: 1,
+				Actions: map[ebpf.XDPAction]uint64{ebpf.XDPTx: 55}},
+			{Name: "beta", VLAN: 200, Steered: 40, Admitted: 40,
+				Sent: 43, Received: 35, Lost: 8, AvgLatencyNs: 200},
+		},
+	}
+	b := Report{
+		Sent: 50, Received: 40, Lost: 5, Throttled: 5,
+		PerTenant: []TenantSlice{
+			{Name: "alpha", Steered: 50, Admitted: 45, Throttled: 5,
+				Sent: 45, Received: 45, AvgLatencyNs: 300, AchievedMpps: 2,
+				Actions: map[ebpf.XDPAction]uint64{ebpf.XDPTx: 40, ebpf.XDPDrop: 5}},
+			{Name: "gamma", VLAN: 300, Steered: 7, Admitted: 7, Sent: 7, Received: 7},
+		},
+	}
+	sum := a
+	sum.PerTenant = append([]TenantSlice(nil), a.PerTenant...)
+	sum.PerTenant[0].Actions = map[ebpf.XDPAction]uint64{ebpf.XDPTx: 55}
+	sum.Add(b)
+
+	if sum.Throttled != 8 || sum.Quarantined != 2 || sum.TenantDownLoss != 1 {
+		t.Errorf("tenant loss counters: throttled %d quarantined %d down %d",
+			sum.Throttled, sum.Quarantined, sum.TenantDownLoss)
+	}
+	if len(sum.PerTenant) != 3 {
+		t.Fatalf("PerTenant merged to %d rows, want 3 (alpha folded, gamma appended)", len(sum.PerTenant))
+	}
+	al := sum.PerTenant[0]
+	if al.Name != "alpha" || al.Steered != 110 || al.Admitted != 102 || al.Throttled != 8 ||
+		al.Sent != 102 || al.Received != 100 || al.Lost != 2 || al.AchievedMpps != 3 {
+		t.Errorf("alpha merged to %+v", al)
+	}
+	wantAvg := (100.0*55 + 300.0*45) / 100.0
+	if al.AvgLatencyNs != wantAvg {
+		t.Errorf("alpha AvgLatencyNs %.2f, want Received-weighted %.2f", al.AvgLatencyNs, wantAvg)
+	}
+	if al.Actions[ebpf.XDPTx] != 95 || al.Actions[ebpf.XDPDrop] != 5 {
+		t.Errorf("alpha actions merged to %v", al.Actions)
+	}
+	if sum.PerTenant[2].Name != "gamma" || sum.PerTenant[2].VLAN != 300 {
+		t.Errorf("gamma appended as %+v", sum.PerTenant[2])
+	}
+	// Appended slices are deep copies: mutating the merged report must
+	// not reach back into the source report's action map.
+	sum.PerTenant[2].Actions = nil
+	al.Actions[ebpf.XDPTx] = 0
+	if b.PerTenant[0].Actions[ebpf.XDPTx] != 40 {
+		t.Errorf("merge aliased the source action map: %v", b.PerTenant[0].Actions)
+	}
+}
+
+// TestReportAccounted is the table test for the ledger identity: every
+// offered frame lands in exactly one of Received, Lost, Throttled,
+// Quarantined or TenantDownLoss, and because the identity is additive
+// it survives Add-merges of reports that each individually satisfy it.
+func TestReportAccounted(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Report
+		want bool
+	}{
+		{"zero", Report{}, true},
+		{"plain shell", Report{Sent: 100, Received: 98, Lost: 2}, true},
+		{"tenant ledger", Report{Sent: 100, Received: 80, Lost: 5, Throttled: 10, Quarantined: 3, TenantDownLoss: 2}, true},
+		{"lost frame unaccounted", Report{Sent: 100, Received: 98, Lost: 1}, false},
+		{"double counted", Report{Sent: 100, Received: 98, Lost: 2, Throttled: 2}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.r.Accounted(); got != tc.want {
+				t.Errorf("Accounted() = %v, want %v for %+v", got, tc.want, tc.r)
+			}
+		})
+	}
+
+	// Additivity across merges: fold several accounted epochs from
+	// different loss classes and the identity must still hold; fold one
+	// unaccounted epoch in and it must break.
+	epochs := []Report{
+		{Sent: 256, Received: 250, Lost: 6},
+		{Sent: 256, Received: 200, Lost: 0, Throttled: 56},
+		{Sent: 256, Received: 100, Lost: 12, Throttled: 40, Quarantined: 24, TenantDownLoss: 80},
+		{Sent: 0},
+	}
+	var sum Report
+	for i, ep := range epochs {
+		if !ep.Accounted() {
+			t.Fatalf("epoch %d not individually accounted: %+v", i, ep)
+		}
+		sum.Add(ep)
+		if !sum.Accounted() {
+			t.Errorf("ledger identity broken after folding epoch %d: %+v", i, sum)
+		}
+	}
+	if sum.Sent != 768 || sum.Received != 550 || sum.Lost != 18 ||
+		sum.Throttled != 96 || sum.Quarantined != 24 || sum.TenantDownLoss != 80 {
+		t.Errorf("merged ledger: %+v", sum)
+	}
+	sum.Add(Report{Sent: 10, Received: 3})
+	if sum.Accounted() {
+		t.Error("ledger identity survived folding an unaccounted report")
 	}
 }
 

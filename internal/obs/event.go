@@ -80,7 +80,9 @@ const (
 	// KindQueueSteer marks the RSS dispatcher classifying one arrival
 	// to a pipeline replica. Seq: the global arrival index. Aux: the
 	// queue chosen. Aux2: the Toeplitz hash (0 for non-IP frames taking
-	// the queue-0 fallback).
+	// the queue-0 fallback). The multi-tenant classifier reuses the
+	// kind for quarantine steers: Aux is the tenant the frame was
+	// steered to (^0 for the device quarantine bucket), Aux2 is 1.
 	KindQueueSteer
 	// KindRolloutPhase marks a fleet rollout transition. Cycle: the
 	// fleet epoch. Aux: the rollout phase entered (a fleet.RolloutPhase
@@ -91,6 +93,19 @@ const (
 	// fleet epoch. Aux: the device drained or re-admitted. Aux2: 1 for a
 	// drain, 0 for a re-admit.
 	KindRebalance
+	// KindTenantAdmit marks a tenant passing the budget admission gate
+	// of a multi-tenant device. Aux: the tenant id. Aux2: the device
+	// utilisation after admission, in tenths of a percent.
+	KindTenantAdmit
+	// KindTenantReject marks the admission gate refusing a tenant whose
+	// design would push the device past the utilisation band. Aux: the
+	// would-be utilisation in tenths of a percent. Aux2: the band
+	// ceiling in tenths of a percent.
+	KindTenantReject
+	// KindTenantThrottle marks per-tenant ingress policing shedding
+	// overload. Cycle: the device epoch. Aux: the tenant id. Aux2: the
+	// frames shed in the epoch.
+	KindTenantThrottle
 
 	numKinds
 )
@@ -112,11 +127,14 @@ var kindNames = [numKinds]string{
 	KindWatchdog:   "watchdog",
 	KindFault:      "fault",
 
-	KindUpdatePhase:   "update_phase",
-	KindCanaryDiverge: "canary_diverge",
-	KindQueueSteer:    "queue_steer",
-	KindRolloutPhase:  "rollout_phase",
-	KindRebalance:     "rebalance",
+	KindUpdatePhase:    "update_phase",
+	KindCanaryDiverge:  "canary_diverge",
+	KindQueueSteer:     "queue_steer",
+	KindRolloutPhase:   "rollout_phase",
+	KindRebalance:      "rebalance",
+	KindTenantAdmit:    "tenant_admit",
+	KindTenantReject:   "tenant_reject",
+	KindTenantThrottle: "tenant_throttle",
 }
 
 // String returns the canonical event-class name.

@@ -1,0 +1,202 @@
+package tenant
+
+import (
+	"fmt"
+
+	"ehdl/internal/ebpf"
+	"ehdl/internal/nic"
+	"ehdl/internal/obs"
+)
+
+// Serve drives one epoch of arrivals through the device: the classifier
+// attributes every frame, per-tenant token buckets shed overload, and
+// each live tenant's pipeline serves its admitted sub-batch in
+// admission order. Tenant failures are contained — an unrecoverable
+// pipeline death loses only that tenant's frames, exactly accounted as
+// TenantDownLoss — so the returned error covers only the device's own
+// invariants. The report satisfies the ledger identity
+// (nic.Report.Accounted): every arrival lands in exactly one of
+// Received, Lost, Throttled, Quarantined or TenantDownLoss.
+func (d *Device) Serve(batch [][]byte, offeredPps float64) (nic.Report, error) {
+	if offeredPps <= 0 {
+		return nic.Report{}, fmt.Errorf("tenant: offered rate must be positive")
+	}
+	if len(d.tenants) == 0 {
+		return nic.Report{}, fmt.Errorf("tenant: device has no admitted tenants")
+	}
+
+	// Classify: per-tenant sub-batches, quarantine counted and traced.
+	sub := make([][][]byte, len(d.tenants))
+	var dev nic.Report
+	for seq, pkt := range batch {
+		t, frame, matched := d.classifyFrame(pkt)
+		if !matched {
+			d.steerFallback(seq, t)
+		}
+		if t == nil {
+			dev.Sent++
+			dev.Quarantined++
+			continue
+		}
+		sub[t.ID] = append(sub[t.ID], frame)
+	}
+	d.count(MetricQuarantined, dev.Quarantined)
+
+	// Police: per-tenant token buckets under isolation, one shared
+	// first-come-first-served pool in the NoIsolation ablation (where a
+	// noisy tenant admitted earlier starves its neighbours — the
+	// behaviour the ablation table quantifies).
+	admitted := make([]int, len(d.tenants))
+	if d.cfg.NoIsolation {
+		pool := d.cfg.epochBudget()
+		for _, t := range d.tenants {
+			n := len(sub[t.ID])
+			if n > pool {
+				n = pool
+			}
+			admitted[t.ID] = n
+			pool -= n
+		}
+	} else {
+		for _, t := range d.tenants {
+			t.bucket += d.refill(t.Spec)
+			if depth := float64(d.bucketDepth(t.Spec)); t.bucket > depth {
+				t.bucket = depth
+			}
+			n := len(sub[t.ID])
+			if grant := int(t.bucket); n > grant {
+				n = grant
+			}
+			admitted[t.ID] = n
+			t.bucket -= float64(n)
+		}
+	}
+
+	slices := make([]nic.TenantSlice, len(d.tenants))
+	for _, t := range d.tenants {
+		sl := &slices[t.ID]
+		sl.Name = t.Spec.Name
+		sl.VLAN = t.Spec.VLAN
+		arrivals := sub[t.ID]
+		sl.Steered = uint64(len(arrivals))
+		d.count(MetricSteered, sl.Steered)
+
+		if t.dead {
+			// Contained failure: the dead tenant's arrivals are its own
+			// exactly-accounted loss; nothing of its neighbours changes.
+			sl.DownLoss = uint64(len(arrivals))
+			dev.Sent += sl.DownLoss
+			dev.TenantDownLoss += sl.DownLoss
+			continue
+		}
+
+		adm := admitted[t.ID]
+		if shed := uint64(len(arrivals) - adm); shed > 0 {
+			sl.Throttled = shed
+			dev.Sent += shed
+			dev.Throttled += shed
+			d.count(MetricThrottled, shed)
+			d.event(obs.KindTenantThrottle, uint64(t.ID), shed)
+		}
+		if adm == 0 {
+			continue
+		}
+		sl.Admitted = uint64(adm)
+
+		if t.updateEpoch == d.epoch {
+			t.updateEpoch = -1
+			if err := t.sh.ScheduleUpdate(0, t.updateCfg); err != nil {
+				return dev, fmt.Errorf("tenant: %s: %w", t.Spec.Name, err)
+			}
+		}
+
+		// Overflow-burst faults make the shell pull more than adm frames;
+		// extras recycle the admitted sub-batch (modulo) and every pull
+		// gets a fresh copy, so in-place frame damage inside one tenant's
+		// shell can never reach the classifier's batch or a neighbour.
+		i := 0
+		next := func() []byte {
+			pkt := arrivals[i%adm]
+			i++
+			return append([]byte(nil), pkt...)
+		}
+		rep, err := t.sh.RunLoad(next, adm, offeredPps*t.Spec.Share)
+		if err != nil {
+			// Unrecoverable pipeline death mid-epoch (recovery budget
+			// exhausted): retired frames stay delivered, the unserved
+			// remainder is this tenant's bounded loss, and the tenant is
+			// dead for the rest of the run. The shell's report is partial
+			// on this path — only the retirement counters are final.
+			t.dead = true
+			t.deathCause = err.Error()
+			delivered := rep.Received
+			sent := uint64(adm)
+			if delivered > sent {
+				sent = delivered // chaos overflow extras retired pre-death
+			}
+			down := sent - delivered
+			sl.Admitted -= down
+			sl.DownLoss += down
+			sl.Sent = sent - down
+			sl.Received = delivered
+			sl.Actions = rep.Actions
+			dev.TenantDownLoss += down
+			dev.Add(nic.Report{Sent: sl.Sent, Received: delivered, Actions: rep.Actions})
+			dev.Sent += down
+			d.count(MetricDelivered, delivered)
+			continue
+		}
+
+		sl.Sent = rep.Sent
+		sl.Received = rep.Received
+		sl.Lost = rep.Lost
+		sl.Flushes = rep.Flushes
+		sl.Cycles = rep.Cycles
+		sl.FaultsInjected = rep.FaultsInjected
+		sl.MalformedSent = rep.MalformedSent
+		sl.Recoveries = rep.Recoveries
+		sl.WatchdogTrips = rep.WatchdogTrips
+		sl.UpdatesCompleted = rep.UpdatesCompleted
+		sl.UpdatesRolledBack = rep.UpdatesRolledBack
+		sl.AchievedMpps = rep.AchievedMpps
+		sl.AvgLatencyNs = rep.AvgLatencyNs
+		if len(rep.Actions) > 0 {
+			sl.Actions = map[ebpf.XDPAction]uint64{}
+			for a, n := range rep.Actions {
+				sl.Actions[a] += n
+			}
+		}
+		dev.Add(rep)
+		d.count(MetricDelivered, rep.Received)
+		d.count(MetricLost, rep.Lost)
+	}
+
+	dev.PerTenant = slices
+	d.epoch++
+	return dev, nil
+}
+
+// RunLoad offers count arrivals from next() at offeredPps, chunked into
+// policing epochs of EpochPackets, and folds the per-epoch reports
+// (nic.Report.Add semantics, so the same tenant stays one PerTenant row
+// across epochs).
+func (d *Device) RunLoad(next func() []byte, count int, offeredPps float64) (nic.Report, error) {
+	var out nic.Report
+	ep := d.cfg.epochPackets()
+	for off := 0; off < count; off += ep {
+		n := ep
+		if count-off < n {
+			n = count - off
+		}
+		batch := make([][]byte, n)
+		for i := range batch {
+			batch[i] = next()
+		}
+		rep, err := d.Serve(batch, offeredPps)
+		out.Add(rep)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package tenant
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/nic"
+)
+
+// ParseSpecList parses a CLI tenant list — comma-separated app:share
+// entries like "firewall:0.5,toy:0.25,router:0.25" — into admission
+// specs. The share suffix may be omitted; share-less entries split the
+// headroom the explicit shares leave equally. Tenants are named
+// app#index, VLANs are assigned from 100 upward, and every tenant gets
+// the same shell template.
+func ParseSpecList(list string, shell nic.ShellConfig) ([]Spec, error) {
+	parts := strings.Split(list, ",")
+	specs := make([]Spec, 0, len(parts))
+	var explicit float64
+	var implicit int
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("tenant: empty entry at position %d in %q", i, list)
+		}
+		name, shareStr, hasShare := strings.Cut(part, ":")
+		app, ok := apps.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("tenant: unknown application %q in %q", name, part)
+		}
+		sp := Spec{
+			Name:  fmt.Sprintf("%s#%d", name, i),
+			App:   app,
+			VLAN:  uint16(100 + i),
+			Shell: shell,
+		}
+		if hasShare {
+			share, err := strconv.ParseFloat(shareStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tenant: bad share %q in %q: %v", shareStr, part, err)
+			}
+			if share <= 0 || share > 1 {
+				return nil, fmt.Errorf("tenant: share %g in %q outside (0,1]", share, part)
+			}
+			sp.Share = share
+			explicit += share
+		} else {
+			implicit++
+		}
+		specs = append(specs, sp)
+	}
+	if implicit > 0 {
+		headroom := 1 - explicit
+		if headroom <= 0 {
+			return nil, fmt.Errorf("tenant: explicit shares sum to %g, no headroom for %d share-less entries", explicit, implicit)
+		}
+		each := headroom / float64(implicit)
+		for i := range specs {
+			if specs[i].Share == 0 {
+				specs[i].Share = each
+			}
+		}
+	}
+	return specs, nil
+}

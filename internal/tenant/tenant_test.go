@@ -1,0 +1,329 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/faults"
+	"ehdl/internal/hdl"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/liveupdate"
+	"ehdl/internal/nic"
+	"ehdl/internal/obs"
+	"ehdl/internal/protect"
+)
+
+func mustApp(t testing.TB, name string) *apps.App {
+	t.Helper()
+	a, ok := apps.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	return a
+}
+
+func memTracer() (*obs.Tracer, *obs.MemSink) {
+	sink := obs.NewMemSink()
+	return obs.NewTracer(0, sink), sink
+}
+
+// TestAdmissionGateEnforcesBudget registers identically priced tenants
+// until the gate rejects: the rejection must be the typed
+// *AdmissionError, the admitted set's summed hdl estimate (plus the
+// Corundum shell) must stay within the configured utilisation band, and
+// the rejected design's would-be utilisation must exceed it.
+func TestAdmissionGateEnforcesBudget(t *testing.T) {
+	const band = 40.0
+	tr, sink := memTracer()
+	reg := obs.NewRegistry()
+	d := NewDevice(DeviceConfig{UtilisationBandPct: band, Trace: tr, Metrics: reg})
+
+	var admitted []*Tenant
+	var rejection *AdmissionError
+	for i := 0; i < 24; i++ {
+		// Firewall under ECC with live-update support: the most
+		// expensive admission profile (protection codecs plus
+		// double-buffered maps).
+		tn, err := d.AdmitTenant(Spec{
+			Name:      fmt.Sprintf("fw%d", i),
+			App:       mustApp(t, "firewall"),
+			Share:     0.04,
+			VLAN:      uint16(100 + i),
+			Updatable: true,
+			Shell:     nic.ShellConfig{Sim: hwsim.Config{Protection: protect.LevelECC}},
+		})
+		if err != nil {
+			if !errors.As(err, &rejection) {
+				t.Fatalf("admission failure is not an *AdmissionError: %v", err)
+			}
+			break
+		}
+		admitted = append(admitted, tn)
+	}
+	if len(admitted) == 0 {
+		t.Fatal("no tenant fit the band — gate untestable")
+	}
+	if rejection == nil {
+		t.Fatal("the gate never rejected; band not enforced")
+	}
+
+	// The admitted set provably fits: shell + sum of charged estimates
+	// equals the device's book, and its utilisation is within the band.
+	sum := hdl.CorundumShell()
+	for _, tn := range admitted {
+		sum = sum.Add(tn.Est)
+	}
+	if sum != d.Used() {
+		t.Errorf("resource book %+v != shell + admitted estimates %+v", d.Used(), sum)
+	}
+	if util := d.Utilisation(); util > band {
+		t.Errorf("admitted set at %.2f%% exceeds the %.0f%% band", util, band)
+	}
+	if rejection.UtilPct <= band || rejection.BandPct != band {
+		t.Errorf("rejection says %.2f%% vs band %.2f%%, want would-be util above %.0f",
+			rejection.UtilPct, rejection.BandPct, band)
+	}
+	if rejection.Used != d.Used() {
+		t.Errorf("rejection Used %+v != device book %+v", rejection.Used, d.Used())
+	}
+
+	// The gate is observable: admit/reject events and tenant.* metrics.
+	var admits, rejects int
+	for _, ev := range sink.Events() {
+		switch ev.Kind {
+		case obs.KindTenantAdmit:
+			admits++
+		case obs.KindTenantReject:
+			rejects++
+		}
+	}
+	if admits != len(admitted) || rejects != 1 {
+		t.Errorf("events: %d admits, %d rejects; want %d/1", admits, rejects, len(admitted))
+	}
+	if n, _ := reg.CounterValue(MetricAdmitted); n != uint64(len(admitted)) {
+		t.Errorf("%s = %d, want %d", MetricAdmitted, n, len(admitted))
+	}
+	if n, _ := reg.CounterValue(MetricRejected); n != 1 {
+		t.Errorf("%s = %d, want 1", MetricRejected, n)
+	}
+
+	// A later, cheaper candidate still fits: rejection is per-design,
+	// not a latch.
+	if _, err := d.AdmitTenant(Spec{Name: "small", App: mustApp(t, "toy"), Share: 0.04, VLAN: 4000}); err != nil {
+		t.Errorf("cheap tenant rejected after an expensive one bounced: %v", err)
+	}
+}
+
+// TestAdmitTenantSpecValidation: malformed specifications fail with
+// ordinary errors (not budget rejections) and leave the device book
+// untouched.
+func TestAdmitTenantSpecValidation(t *testing.T) {
+	d := NewDevice(DeviceConfig{})
+	if _, err := d.AdmitTenant(Spec{Name: "a", App: mustApp(t, "toy"), Share: 0.5, VLAN: 100, Default: true}); err != nil {
+		t.Fatal(err)
+	}
+	used := d.Used()
+	cases := []struct {
+		name string
+		sp   Spec
+	}{
+		{"empty name", Spec{App: mustApp(t, "toy"), Share: 0.1}},
+		{"duplicate name", Spec{Name: "a", App: mustApp(t, "toy"), Share: 0.1, VLAN: 200}},
+		{"nil app", Spec{Name: "b", Share: 0.1, VLAN: 200}},
+		{"zero share", Spec{Name: "b", App: mustApp(t, "toy"), VLAN: 200}},
+		{"share above one", Spec{Name: "b", App: mustApp(t, "toy"), Share: 1.5, VLAN: 200}},
+		{"shares oversubscribed", Spec{Name: "b", App: mustApp(t, "toy"), Share: 0.6, VLAN: 200}},
+		{"duplicate vlan", Spec{Name: "b", App: mustApp(t, "toy"), Share: 0.1, VLAN: 100}},
+		{"vlan out of range", Spec{Name: "b", App: mustApp(t, "toy"), Share: 0.1, VLAN: 4095}},
+		{"second default", Spec{Name: "b", App: mustApp(t, "toy"), Share: 0.1, VLAN: 200, Default: true}},
+	}
+	for _, tc := range cases {
+		_, err := d.AdmitTenant(tc.sp)
+		if err == nil {
+			t.Errorf("%s: admitted", tc.name)
+		}
+		var ae *AdmissionError
+		if errors.As(err, &ae) {
+			t.Errorf("%s: spec mistake reported as a budget rejection: %v", tc.name, err)
+		}
+	}
+	if d.Used() != used {
+		t.Errorf("failed admissions changed the resource book: %+v -> %+v", used, d.Used())
+	}
+}
+
+// TestTenantMapNamespaces: tenants hold disjoint map namespaces by
+// construction — distinct sets, and traffic or host writes through one
+// tenant never appear in another's state, even for two tenants running
+// the same program.
+func TestTenantMapNamespaces(t *testing.T) {
+	d := NewDevice(DeviceConfig{Seed: 7})
+	a, err := d.AdmitTenant(Spec{Name: "a", App: mustApp(t, "toy"), Share: 0.5, VLAN: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.AdmitTenant(Spec{Name: "b", App: mustApp(t, "toy"), Share: 0.5, VLAN: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Maps() == b.Maps() {
+		t.Fatal("tenants share a map set")
+	}
+	before := b.Maps().Snapshot()
+
+	// Serve traffic only for tenant a: its counters move, b's stay put.
+	mux := NewTrafficMux([]Spec{a.Spec}, 7)
+	rep, err := d.Serve(mux.Batch(64), 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accounted() {
+		t.Errorf("ledger identity broken: %+v", rep)
+	}
+	if rep.PerTenant[0].Received == 0 {
+		t.Fatal("tenant a served nothing; test is vacuous")
+	}
+	if rep.PerTenant[1].Steered != 0 || rep.PerTenant[1].Received != 0 {
+		t.Errorf("tenant b saw traffic addressed to a: %+v", rep.PerTenant[1])
+	}
+	if !before.Equal(b.Maps().Snapshot()) {
+		t.Error("idle tenant b's map state changed while a served traffic")
+	}
+}
+
+// TestTenantDeathContained: a tenant whose pipeline exhausts its
+// recovery budget dies alone — Serve keeps succeeding, the dead
+// tenant's frames are exactly accounted as TenantDownLoss (the unserved
+// remainder at death plus every later arrival), and the surviving
+// tenant keeps serving.
+func TestTenantDeathContained(t *testing.T) {
+	const seed = 0x5ead
+	d := NewDevice(DeviceConfig{Seed: seed, EpochPackets: 128})
+	_, err := d.AdmitTenant(Spec{
+		Name: "flaky", App: mustApp(t, "toy"), Share: 0.5, VLAN: 100,
+		Shell: nic.ShellConfig{
+			// Parity detects but cannot correct, so every map upset is a
+			// drain-and-restart; MaxRecoveries 1 makes the second one
+			// between clean scrubs terminal.
+			Faults: faults.Single(faults.SEUMapEntry, 0.02, seed),
+			Sim: hwsim.Config{
+				Protection:            protect.LevelParity,
+				ScrubCyclesPerWord:    64,
+				MaxRecoveries:         1,
+				RecoveryBackoffCycles: 8,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSpec := Spec{Name: "steady", App: mustApp(t, "firewall"), Share: 0.5, VLAN: 200}
+	if _, err := d.AdmitTenant(bSpec); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := NewTrafficMux([]Spec{d.tenants[0].Spec, bSpec}, seed)
+	rep, err := d.RunLoad(mux.Next, 1024, 50e6)
+	if err != nil {
+		t.Fatalf("device-level error from a tenant-local death: %v", err)
+	}
+	flaky, _ := d.TenantByName("flaky")
+	if !flaky.Dead() {
+		t.Skip("fault campaign did not kill the tenant at this seed; containment untestable")
+	}
+	if flaky.DeathCause() == "" {
+		t.Error("dead tenant carries no cause")
+	}
+	if !rep.Accounted() {
+		t.Errorf("ledger identity broken after a death: %+v", rep)
+	}
+	if rep.TenantDownLoss == 0 {
+		t.Error("tenant died but no TenantDownLoss accounted")
+	}
+	var fl, st nic.TenantSlice
+	for _, sl := range rep.PerTenant {
+		switch sl.Name {
+		case "flaky":
+			fl = sl
+		case "steady":
+			st = sl
+		}
+	}
+	if !fl.Accounted() || !st.Accounted() {
+		t.Errorf("per-tenant ledgers broken: flaky %+v steady %+v", fl, st)
+	}
+	if fl.DownLoss == 0 || fl.DownLoss != rep.TenantDownLoss {
+		t.Errorf("death loss misattributed: flaky.DownLoss %d, device %d", fl.DownLoss, rep.TenantDownLoss)
+	}
+	if st.DownLoss != 0 {
+		t.Errorf("surviving tenant charged death loss: %+v", st)
+	}
+	if st.Received == 0 || st.Received != st.Sent-st.Lost {
+		t.Errorf("surviving tenant stopped serving: %+v", st)
+	}
+}
+
+// TestPerTenantLiveUpdate: one tenant hot-swaps mid-run while the other
+// serves uninterrupted; the update outcome lands in the updating
+// tenant's slice only.
+func TestPerTenantLiveUpdate(t *testing.T) {
+	const seed = 0x10ad
+	d := NewDevice(DeviceConfig{Seed: seed, EpochPackets: 128})
+	toy := mustApp(t, "toy")
+	aSpec := Spec{Name: "swap", App: toy, Share: 0.5, VLAN: 100, Updatable: true}
+	bSpec := Spec{Name: "keep", App: mustApp(t, "firewall"), Share: 0.5, VLAN: 200}
+	if _, err := d.AdmitTenant(aSpec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AdmitTenant(bSpec); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := toy.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucfg := liveupdate.Config{
+		Prog: prog, Setup: toy.SetupHost,
+		CanaryPackets: 4, CanaryFrac: 0.5, Seed: seed,
+	}
+	if err := d.ScheduleUpdate("keep", 1, ucfg); err == nil {
+		t.Error("non-updatable tenant accepted an update (its hardware was never budgeted)")
+	}
+	if err := d.ScheduleUpdate("swap", 1, ucfg); err != nil {
+		t.Fatal(err)
+	}
+
+	mux := NewTrafficMux([]Spec{aSpec, bSpec}, seed)
+	rep, err := d.RunLoad(mux.Next, 512, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swap, keep nic.TenantSlice
+	for _, sl := range rep.PerTenant {
+		switch sl.Name {
+		case "swap":
+			swap = sl
+		case "keep":
+			keep = sl
+		}
+	}
+	if swap.UpdatesCompleted != 1 || swap.UpdatesRolledBack != 0 {
+		t.Errorf("swap tenant update outcome: %d completed, %d rolled back, want 1/0",
+			swap.UpdatesCompleted, swap.UpdatesRolledBack)
+	}
+	if keep.UpdatesCompleted != 0 || keep.UpdatesRolledBack != 0 {
+		t.Errorf("idle tenant charged an update: %+v", keep)
+	}
+	if keep.Received == 0 || keep.Lost != 0 {
+		t.Errorf("neighbour disturbed during the update: %+v", keep)
+	}
+	if rep.UpdatesCompleted != 1 {
+		t.Errorf("device report lost the update outcome: %+v", rep.UpdatesCompleted)
+	}
+	if !rep.Accounted() {
+		t.Errorf("ledger identity broken across the update: %+v", rep)
+	}
+}
