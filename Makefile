@@ -8,14 +8,15 @@ build:
 	$(GO) build ./...
 
 # The conformance suite, the observability layer, the live-update
-# controller, the multi-queue path (rss + nic), the fleet control plane
-# and the multi-tenant device rerun under the race detector even in the
-# default gate: the tracer, registry, update machinery and the
-# dispatcher/worker/collector goroutines are the pieces most likely to
-# grow cross-goroutine users.
+# controller, the multi-queue path (rss + nic), the fleet control plane,
+# the multi-tenant device and the durability layer rerun under the race
+# detector even in the default gate: the tracer, registry, update
+# machinery and the dispatcher/worker/collector goroutines are the
+# pieces most likely to grow cross-goroutine users, and the journal is
+# the piece a crash must never be able to corrupt.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/ ./internal/rss/ ./internal/nic/ ./internal/fleet/ ./internal/tenant/
+	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/ ./internal/rss/ ./internal/nic/ ./internal/fleet/ ./internal/tenant/ ./internal/durable/
 
 # Quick slice: skips the chaos campaign sweep and long fuzz runs.
 short:
@@ -30,23 +31,27 @@ race:
 # Full fault-injection campaign: every app under every fault class,
 # intensity sweep included (the tests that testing.Short skips), plus
 # the SEU-heal recovery suite, the fleet-level chaos gate (device kills
-# and silent corruption mid-rollout, rollback, drain/re-admit) and the
+# and silent corruption mid-rollout, rollback, drain/re-admit), the
 # multi-tenant noisy-neighbor gate (aggressor under the full fault menu
-# beside a victim whose verdicts must stay bit-identical to a solo run).
+# beside a victim whose verdicts must stay bit-identical to a solo run)
+# and the kill-anywhere recovery gate (controller crashed at every
+# journal commit point and rollout phase, then resumed — the recovered
+# fleet report must be byte-identical to the uninterrupted run).
 chaos:
-	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience|Recovery|Protect|Fleet|Rollback|Tenant' ./internal/...
+	$(GO) test -race -run 'Chaos|Truncated|Malformed|Watchdog|Resilience|Recovery|Protect|Fleet|Rollback|Tenant|Journal|Resume|Replay|Torn' ./internal/...
 
 # Coverage gate for the self-healing subsystem, the observability
-# layer, the RSS dispatcher, the fleet control plane and the
-# multi-tenant device: the protection codecs, the simulator that hosts
-# the recovery machinery, the tracer/metrics/profiling package, the
-# multi-queue front end, the fleet controller and the tenant
-# classifier/policer/admission gate must stay above their floors
-# (protect 90%, hwsim 75%, obs 85%, rss 85%, fleet 85%, tenant 85%). A
-# gated package missing from the coverage output fails the gate — a
-# silently dropped package must not read as a pass.
+# layer, the RSS dispatcher, the fleet control plane, the multi-tenant
+# device and the durability layer: the protection codecs, the simulator
+# that hosts the recovery machinery, the tracer/metrics/profiling
+# package, the multi-queue front end, the fleet controller, the tenant
+# classifier/policer/admission gate and the journal/snapshot codecs
+# must stay above their floors (protect 90%, hwsim 75%, obs 85%, rss
+# 85%, fleet 85%, tenant 85%, durable 85%). A gated package missing
+# from the coverage output fails the gate — a silently dropped package
+# must not read as a pass.
 cover:
-	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ ./internal/rss/ ./internal/fleet/ ./internal/tenant/ | tee /tmp/ehdl-cover.txt
+	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ ./internal/rss/ ./internal/fleet/ ./internal/tenant/ ./internal/durable/ | tee /tmp/ehdl-cover.txt
 	@awk 'function gate(pkg, floor,    a) { seen[pkg] = 1; split($$5, a, "%"); \
 	          if (a[1]+0 < floor) { printf "FAIL: internal/%s coverage %s%% < %d%%\n", pkg, a[1], floor; bad = 1 } } \
 	      /internal\/protect/ { gate("protect", 90) } \
@@ -55,23 +60,28 @@ cover:
 	      /internal\/rss/     { gate("rss", 85) } \
 	      /internal\/fleet/   { gate("fleet", 85) } \
 	      /internal\/tenant/  { gate("tenant", 85) } \
-	      END { n = split("protect hwsim obs rss fleet tenant", want, " "); \
+	      /internal\/durable/ { gate("durable", 85) } \
+	      END { n = split("protect hwsim obs rss fleet tenant durable", want, " "); \
 	            for (i = 1; i <= n; i++) if (!seen[want[i]]) { printf "FAIL: internal/%s missing from coverage output\n", want[i]; bad = 1 } \
 	            exit bad }' /tmp/ehdl-cover.txt
 	@echo "coverage gates passed"
 
-# Short fuzz sweeps over the four adversarial surfaces: the vm-vs-hwsim
+# Short fuzz sweeps over the five adversarial surfaces: the vm-vs-hwsim
 # conformance fuzzer, the migration schema/copy fuzzer, the RSS
 # dispatcher fuzzer (malformed/truncated frames against the Toeplitz
-# front end) and the tenant classifier fuzzer (the same hostile frames
+# front end), the tenant classifier fuzzer (the same hostile frames
 # against the VLAN/prefix steering — unclassifiable input must be
-# quarantined and traced, never silently dropped). Ten seconds each —
-# a smoke pass over the corpus plus fresh mutations, not a campaign.
+# quarantined and traced, never silently dropped) and the journal
+# decoder fuzzer (torn tails, truncations and bit flips against the WAL
+# framing — typed corruption errors or clean truncation, never a panic
+# or a silent misparse). Ten seconds each — a smoke pass over the
+# corpus plus fresh mutations, not a campaign.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/conformance/
 	$(GO) test -run '^$$' -fuzz FuzzMigrate -fuzztime 10s ./internal/liveupdate/
 	$(GO) test -run '^$$' -fuzz FuzzRSSDispatch -fuzztime 10s ./internal/rss/
 	$(GO) test -run '^$$' -fuzz FuzzTenantClassifier -fuzztime 10s ./internal/tenant/
+	$(GO) test -run '^$$' -fuzz FuzzJournalDecode -fuzztime 10s ./internal/durable/
 
 # Benchmark-regression harness. bench-baseline re-records the committed
 # baseline (do this deliberately, with the diff in review); bench-check

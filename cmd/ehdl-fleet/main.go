@@ -10,12 +10,17 @@
 //	ehdl-fleet -devices 8 -chaos 0.3 -seed 7 -verify
 //	ehdl-fleet -app firewall -devices 4 -epochs 16 -json
 //	ehdl-fleet -devices 4 -tenants firewall:0.5,toy:0.5 -band 50
+//	ehdl-fleet -devices 8 -chaos 0.3 -journal /var/lib/ehdl/fleet
+//	ehdl-fleet -devices 8 -chaos 0.3 -journal /var/lib/ehdl/fleet -resume
 //
 // Exit status: 0 on a clean run, 1 on a usage or configuration error
 // (or a rollout that ran out of epochs), 2 when the rollout halted and
 // rolled back, verification found a verdict divergence on a healthy
 // device, or a -tenants spec list was rejected by the per-device
-// admission budget gate.
+// admission budget gate, 3 on a durability failure — a corrupt journal
+// record, a -resume whose configuration does not fingerprint-match the
+// journaled run, a recovery replay that diverged from the journaled
+// digests, or a journal directory reused without -resume.
 package main
 
 import (
@@ -54,6 +59,10 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "print the fleet report as JSON instead of text")
 		tracePath = flag.String("trace", "", "write fleet rollout/rebalance events to this file (JSONL)")
 
+		journalDir = flag.String("journal", "", "directory for the crash-consistency write-ahead journal and state snapshots")
+		resume     = flag.Bool("resume", false, "recover the run journaled in -journal: verified replay, then live execution from the journal tail")
+		snapEvery  = flag.Int("snapshot-every", 0, "full-state snapshot cadence in epochs (0: fleet default)")
+
 		tenantsSpec = flag.String("tenants", "", "multi-tenant devices: comma-separated app:share list admitted on every shard (replaces -app)")
 		tenantBand  = flag.Float64("band", 0, "per-device tenant admission ceiling in percent of fabric utilisation (0: tenant default)")
 	)
@@ -80,14 +89,23 @@ func run() int {
 		return usage(fmt.Errorf("-band only applies with -tenants"))
 	case *tenantBand < 0 || *tenantBand > 100:
 		return usage(fmt.Errorf("-band must be in (0,100], got %g", *tenantBand))
+	case *resume && *journalDir == "":
+		return usage(fmt.Errorf("-resume requires -journal"))
+	case *snapEvery != 0 && *journalDir == "":
+		return usage(fmt.Errorf("-snapshot-every only applies with -journal"))
+	case *snapEvery < 0:
+		return usage(fmt.Errorf("-snapshot-every must be >= 0, got %d", *snapEvery))
 	}
 
 	cfg := fleet.Config{
-		Devices:      *devices,
-		Seed:         *seed,
-		EpochPackets: *packets,
-		OfferedPps:   *rate * 1e6,
-		Verify:       *verify,
+		Devices:       *devices,
+		Seed:          *seed,
+		EpochPackets:  *packets,
+		OfferedPps:    *rate * 1e6,
+		Verify:        *verify,
+		JournalDir:    *journalDir,
+		Resume:        *resume,
+		SnapshotEvery: *snapEvery,
 	}
 	workload := *appName
 	if *tenantsSpec != "" {
@@ -175,7 +193,24 @@ func run() int {
 		*devices, workload, *epochs, *packets, *seed)
 	rep, err := ctrl.Run(*epochs)
 	if err != nil {
+		if fleet.DurabilityError(err) {
+			fmt.Fprintf(os.Stderr, "durability failure: %v\n", err)
+			return 3
+		}
 		return fail(err)
+	}
+	if ri := ctrl.RecoveryInfo(); ri.Resumed {
+		fmt.Fprintf(os.Stderr, "recovered: %d epochs replayed and digest-verified", ri.ReplayedEpochs)
+		if ri.SnapshotEpoch >= 0 {
+			fmt.Fprintf(os.Stderr, ", snapshot @ epoch %d byte-verified", ri.SnapshotEpoch)
+		}
+		if ri.TornBytesTruncated > 0 {
+			fmt.Fprintf(os.Stderr, ", %d torn bytes truncated", ri.TornBytesTruncated)
+		}
+		if ri.SnapshotsSkipped > 0 {
+			fmt.Fprintf(os.Stderr, ", %d damaged snapshots skipped", ri.SnapshotsSkipped)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 
 	if *jsonOut {

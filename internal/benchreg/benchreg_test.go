@@ -1,6 +1,7 @@
 package benchreg
 
 import (
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -155,5 +156,49 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("loading a missing baseline succeeded")
+	}
+}
+
+// TestBaselineSaveByteStable: the committed baseline file is diffed in
+// review and hashed by the fleet config fingerprint path, so Save must
+// emit byte-identical files for equal baselines — map keys sorted, one
+// trailing newline.
+func TestBaselineSaveByteStable(t *testing.T) {
+	b := &Baseline{
+		Schema: 1, Packets: 100, NumCPU: 8,
+		Points: map[string]float64{
+			"firewall/mpps": 2.5, "router/mpps": 1.25,
+			"host/firewall/mpps": 30, "bridge/mpps": 3.75,
+		},
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := Save(p1, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(p2, b); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Fatalf("two saves of one baseline differ:\n%s\n%s", d1, d2)
+	}
+	if !strings.Contains(string(d1), "\"bridge/mpps\"") {
+		t.Fatal("points missing from saved baseline")
+	}
+	// Sorted keys: bridge < firewall < host < router in the output.
+	if !(strings.Index(string(d1), "bridge/") < strings.Index(string(d1), "firewall/") &&
+		strings.Index(string(d1), "firewall/") < strings.Index(string(d1), "host/")) {
+		t.Error("saved point keys not sorted")
+	}
+	if d1[len(d1)-1] != '\n' {
+		t.Error("saved baseline missing trailing newline")
 	}
 }

@@ -121,9 +121,28 @@ type Config struct {
 	// means 2.
 	CooldownEpochs int
 
+	// JournalDir, when non-empty, makes the run crash-consistent: every
+	// epoch commits a record to a write-ahead journal in this directory
+	// before Run proceeds past it, and periodic full-state snapshots are
+	// written beside it. A journal directory holding a previous run is
+	// refused unless Resume is set.
+	JournalDir string
+	// Resume recovers the run journaled in JournalDir: the config
+	// fingerprint is verified, the journaled epochs are re-executed
+	// under digest verification (each must reproduce its committed
+	// digest, and the newest valid snapshot must be reproduced
+	// byte-for-byte), and live execution continues from the journal
+	// tail.
+	Resume bool
+	// SnapshotEvery is the full-state snapshot cadence in epochs (a
+	// snapshot is also written on the final epoch). 0 means 4.
+	SnapshotEvery int
+
 	// Trace receives KindRolloutPhase and KindRebalance events (the
-	// Cycle field carries the epoch). Metrics accumulates the fleet.*
-	// instruments. Both optional.
+	// Cycle field carries the epoch) plus, with a journal attached, the
+	// KindJournalCommit/KindStateSnapshot/KindReplayEpoch stream.
+	// Metrics accumulates the fleet.* and durable.* instruments. Both
+	// optional.
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
 }
@@ -168,6 +187,13 @@ func (c Config) cooldownEpochs() int {
 		return 2
 	}
 	return c.CooldownEpochs
+}
+
+func (c Config) snapshotEvery() int {
+	if c.SnapshotEvery <= 0 {
+		return 4
+	}
+	return c.SnapshotEvery
 }
 
 // UpdateConfig parameterises the rolling canary update.
@@ -279,11 +305,24 @@ type Controller struct {
 	// or the tenants' VLAN-tagged mux in tenant mode.
 	next func() []byte
 	// rng draws fleet-level jitter (cool-down spread). Device-level
-	// randomness lives in the per-device injector forks.
-	rng     *rand.Rand
-	epoch   int
-	rep     Report
-	rollout *rolloutState
+	// randomness lives in the per-device injector forks. rngDraws
+	// counts the draws consumed — the stream position persisted into
+	// every snapshot.
+	rng      *rand.Rand
+	rngDraws uint64
+	epoch    int
+	rep      Report
+	rollout  *rolloutState
+
+	// dur is the journal attachment (nil without Config.JournalDir);
+	// replaying is true while a resumed run re-executes its journaled
+	// prefix under digest verification.
+	dur       *durState
+	replaying bool
+	// crashAt arms one named crash site (recovery-gate hook);
+	// crashProbe, when non-nil, records every site the run passes.
+	crashAt    string
+	crashProbe map[string]int
 }
 
 // mix is the seed spreader for per-device derived seeds (splitmix
@@ -426,7 +465,20 @@ func (c *Controller) count(name string, n uint64) {
 }
 
 // event emits one fleet trace event with the epoch as the cycle stamp.
+// Rollout and rebalance transitions double as named crash sites: they
+// are exactly the mid-epoch state mutations the recovery gate kills the
+// controller inside.
 func (c *Controller) event(kind obs.Kind, aux, aux2 uint64) {
+	switch kind {
+	case obs.KindRolloutPhase:
+		c.crashSite("rollout:" + RolloutPhase(aux).String())
+	case obs.KindRebalance:
+		if aux2 == 1 {
+			c.crashSite(fmt.Sprintf("rebalance:remove:dev%d", aux))
+		} else {
+			c.crashSite(fmt.Sprintf("rebalance:readmit:dev%d", aux))
+		}
+	}
 	c.cfg.Trace.Emit(obs.Event{
 		Cycle: uint64(c.epoch), Kind: kind, Seq: obs.NoSeq,
 		Stage: obs.NoStage, Map: obs.NoMap, Aux: aux, Aux2: aux2,
@@ -435,29 +487,61 @@ func (c *Controller) event(kind obs.Kind, aux, aux2 uint64) {
 
 // Run drives the fleet for `epochs` epochs and returns the aggregate
 // report. Device failures are absorbed into the report; the returned
-// error covers only the controller's own invariants.
-func (c *Controller) Run(epochs int) (Report, error) {
+// error covers only the controller's own invariants. With a journal
+// attached (Config.JournalDir) each epoch's record is committed before
+// the loop proceeds past it, and an armed crash site unwinds through
+// here exactly like a process kill — journal left as-is, torn tail and
+// all, for the next Resume.
+func (c *Controller) Run(epochs int) (rep Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sc, ok := r.(simCrash)
+			if !ok {
+				panic(r)
+			}
+			rep = c.rep
+			err = fmt.Errorf("%w at site %q", errSimulatedCrash, string(sc))
+		}
+	}()
+	if err := c.durOpen(epochs); err != nil {
+		return c.rep, err
+	}
+	if c.dur != nil {
+		defer c.dur.j.Close()
+	}
 	for e := 0; e < epochs; e++ {
 		c.epoch = e
-		c.rep.Epochs = e + 1
-		c.readmitCooled()
-		if c.rollout != nil {
-			c.rollout.schedule(c)
-		}
-		batches := c.partition()
-		for _, d := range c.devices {
-			c.chaosStrike(d, len(batches[d.id]))
-			if d.state != stateHealthy && d.state != stateCooling {
-				continue
-			}
-			c.serve(d, batches[d.id])
-		}
-		if c.rollout != nil {
-			c.rollout.evaluate(c)
+		c.runEpoch()
+		if err := c.durEpoch(e, epochs); err != nil {
+			return c.rep, err
 		}
 	}
 	c.finalize()
+	if err := c.durComplete(); err != nil {
+		return c.rep, err
+	}
 	return c.rep, nil
+}
+
+// runEpoch executes one epoch: re-admissions, rollout scheduling,
+// traffic partitioning, per-device serving and rollout evaluation.
+func (c *Controller) runEpoch() {
+	c.rep.Epochs = c.epoch + 1
+	c.readmitCooled()
+	if c.rollout != nil {
+		c.rollout.schedule(c)
+	}
+	batches := c.partition()
+	for _, d := range c.devices {
+		c.chaosStrike(d, len(batches[d.id]))
+		if d.state != stateHealthy && d.state != stateCooling {
+			continue
+		}
+		c.serve(d, batches[d.id])
+	}
+	if c.rollout != nil {
+		c.rollout.evaluate(c)
+	}
 }
 
 // chaosStrike applies this epoch's scheduled kill/corrupt events to one
@@ -511,6 +595,7 @@ func (c *Controller) drain(d *device) {
 	base := c.cfg.cooldownEpochs()
 	d.state = stateCooling
 	d.cooldownUntil = c.epoch + 1 + base + c.rng.Intn(base)
+	c.rngDraws++
 	d.drains++
 	c.ring.Remove(d.id)
 	c.rep.Drains++

@@ -1,7 +1,9 @@
 package maps
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 
 	"ehdl/internal/ebpf"
 )
@@ -44,6 +46,40 @@ func (s *SetSnapshot) Equal(o *SetSnapshot) bool {
 		}
 	}
 	return true
+}
+
+// MapEntries is the canonical view of one map's snapshot: parallel
+// key/value slices sorted bytewise by key.
+type MapEntries struct {
+	Keys   [][]byte
+	Values [][]byte
+}
+
+// Canonical returns every map's entries sorted bytewise by key — a
+// byte-stable encoding of the set state. A snapshot's own entry order
+// follows each map's iteration order, which is deterministic but
+// access-history-dependent (hash maps walk LRU recency); sorting
+// removes the history, so two sets holding the same entries always
+// canonicalise to the same bytes. This is the form the fleet journal
+// digests and durable snapshots are built from.
+func (s *SetSnapshot) Canonical() []MapEntries {
+	out := make([]MapEntries, len(s.maps))
+	for i := range s.maps {
+		ms := &s.maps[i]
+		idx := make([]int, len(ms.keys))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return bytes.Compare(ms.keys[idx[a]], ms.keys[idx[b]]) < 0
+		})
+		e := &out[i]
+		for _, j := range idx {
+			e.Keys = append(e.Keys, append([]byte(nil), ms.keys[j]...))
+			e.Values = append(e.Values, append([]byte(nil), ms.values[j]...))
+		}
+	}
+	return out
 }
 
 // Entries returns the total number of entries captured.

@@ -159,3 +159,68 @@ func TestSnapshotCapturesQuarantinedRaw(t *testing.T) {
 		t.Fatalf("restored raw value %#x, want the captured double-flip pattern", got)
 	}
 }
+
+// TestSnapshotCanonical pins the byte-stable encoding the fleet journal
+// digests are built from: two sets holding the same entries but with
+// different access histories (hash maps iterate in LRU recency order)
+// must canonicalise identically, and the canonical order is the
+// bytewise key sort.
+func TestSnapshotCanonical(t *testing.T) {
+	spec := ebpf.MapSpec{Name: "flows", Kind: ebpf.MapHash, KeySize: 4, ValueSize: 8, MaxEntries: 16}
+	build := func(touch bool) *SetSnapshot {
+		prog := &ebpf.Program{Name: "p", Maps: []ebpf.MapSpec{spec}}
+		set, err := NewSet(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := set.ByName("flows")
+		for _, k := range []uint32{7, 3, 11, 1} {
+			key := make([]byte, 4)
+			binary.LittleEndian.PutUint32(key, k)
+			mustUpdate(t, m, key, val64(uint64(k)*10))
+		}
+		if touch {
+			// Different access history, same contents: recency order moves.
+			for _, k := range []uint32{11, 1} {
+				key := make([]byte, 4)
+				binary.LittleEndian.PutUint32(key, k)
+				if _, ok := m.Lookup(key); !ok {
+					t.Fatalf("key %d vanished", k)
+				}
+			}
+		}
+		return set.Snapshot()
+	}
+
+	a, b := build(false).Canonical(), build(true).Canonical()
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("canonical forms cover %d/%d maps, want 1", len(a), len(b))
+	}
+	if len(a[0].Keys) != 4 {
+		t.Fatalf("canonical form has %d entries, want 4", len(a[0].Keys))
+	}
+	for i := range a[0].Keys {
+		if string(a[0].Keys[i]) != string(b[0].Keys[i]) || string(a[0].Values[i]) != string(b[0].Values[i]) {
+			t.Fatalf("entry %d differs between access histories", i)
+		}
+		if i > 0 && string(a[0].Keys[i-1]) >= string(a[0].Keys[i]) {
+			t.Errorf("canonical keys not strictly sorted at %d", i)
+		}
+	}
+
+	// The raw snapshots themselves iterate in different orders — the
+	// nondeterminism Canonical exists to remove.
+	ra, rb := build(false), build(true)
+	same := true
+	for i := range ra.maps[0].keys {
+		if string(ra.maps[0].keys[i]) != string(rb.maps[0].keys[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Log("note: recency order happened to match; canonical form still required by contract")
+	}
+	if !ra.Equal(rb) {
+		t.Error("same-content snapshots must compare Equal regardless of order")
+	}
+}

@@ -1,6 +1,7 @@
 package nic
 
 import (
+	"encoding/json"
 	"testing"
 
 	"ehdl/internal/ebpf"
@@ -270,5 +271,34 @@ func TestReportAddZero(t *testing.T) {
 	z.Add(want)
 	if z.Sent != want.Sent || z.AvgLatencyNs != want.AvgLatencyNs || z.UpdateStage != "done" {
 		t.Errorf("zero + r != r: %+v", z)
+	}
+}
+
+// TestReportJSONByteStable: the fleet's byte-identical chaos and
+// recovery gates hash report JSON, so a report with a populated verdict
+// histogram (a Go map) must marshal identically every time —
+// encoding/json's sorted map keys are the guarantee this pins.
+func TestReportJSONByteStable(t *testing.T) {
+	rep := Report{
+		Sent: 10, Received: 9, Lost: 1,
+		Actions: map[ebpf.XDPAction]uint64{
+			ebpf.XDPPass: 3, ebpf.XDPDrop: 2, ebpf.XDPTx: 2,
+			ebpf.XDPAborted: 1, ebpf.XDPRedirect: 1,
+		},
+		PerQueue:  []QueueReport{{Queue: 0, Received: 5}, {Queue: 1, Received: 4}},
+		PerTenant: []TenantSlice{{Name: "b", Received: 4}, {Name: "a", Received: 5}},
+	}
+	first, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		again, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("marshal %d diverged:\n%s\n%s", i, first, again)
+		}
 	}
 }

@@ -106,6 +106,17 @@ const (
 	// overload. Cycle: the device epoch. Aux: the tenant id. Aux2: the
 	// frames shed in the epoch.
 	KindTenantThrottle
+	// KindJournalCommit marks a fleet epoch record fsynced to the
+	// write-ahead journal. Cycle: the epoch. Aux2: the journal size in
+	// bytes after the commit.
+	KindJournalCommit
+	// KindStateSnapshot marks a full-state snapshot file written.
+	// Cycle: the epoch. Aux: the snapshot payload size in bytes.
+	KindStateSnapshot
+	// KindReplayEpoch marks one epoch re-executed and digest-verified
+	// during crash recovery. Cycle: the epoch. Aux: 1 on the epoch whose
+	// journaled digest matched a loaded snapshot byte-for-byte.
+	KindReplayEpoch
 
 	numKinds
 )
@@ -135,6 +146,9 @@ var kindNames = [numKinds]string{
 	KindTenantAdmit:    "tenant_admit",
 	KindTenantReject:   "tenant_reject",
 	KindTenantThrottle: "tenant_throttle",
+	KindJournalCommit:  "journal_commit",
+	KindStateSnapshot:  "state_snapshot",
+	KindReplayEpoch:    "replay_epoch",
 }
 
 // String returns the canonical event-class name.
