@@ -8,15 +8,16 @@ build:
 	$(GO) build ./...
 
 # The conformance suite, the observability layer, the live-update
-# controller, the multi-queue path (rss + nic), the fleet control plane,
-# the multi-tenant device and the durability layer rerun under the race
-# detector even in the default gate: the tracer, registry, update
-# machinery and the dispatcher/worker/collector goroutines are the
-# pieces most likely to grow cross-goroutine users, and the journal is
-# the piece a crash must never be able to corrupt.
+# controller, the multi-queue path (rss + nic), the compiled fast path,
+# the fleet control plane, the multi-tenant device and the durability
+# layer rerun under the race detector even in the default gate: the
+# tracer, registry, update machinery and the dispatcher/worker/collector
+# goroutines are the pieces most likely to grow cross-goroutine users,
+# the journal is the piece a crash must never be able to corrupt, and
+# the fast path is the engine the RSS workers drive concurrently.
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/ ./internal/rss/ ./internal/nic/ ./internal/fleet/ ./internal/tenant/ ./internal/durable/
+	$(GO) test -race ./internal/conformance/ ./internal/obs/ ./internal/liveupdate/ ./internal/rss/ ./internal/nic/ ./internal/fastpath/ ./internal/fleet/ ./internal/tenant/ ./internal/durable/
 
 # Quick slice: skips the chaos campaign sweep and long fuzz runs.
 short:
@@ -47,27 +48,30 @@ chaos:
 # package, the multi-queue front end, the fleet controller, the tenant
 # classifier/policer/admission gate and the journal/snapshot codecs
 # must stay above their floors (protect 90%, hwsim 75%, obs 85%, rss
-# 85%, fleet 85%, tenant 85%, durable 85%). A gated package missing
-# from the coverage output fails the gate — a silently dropped package
-# must not read as a pass.
+# 85%, fastpath 85%, fleet 85%, tenant 85%, durable 85%). A gated
+# package missing from the coverage output fails the gate — a silently
+# dropped package must not read as a pass.
 cover:
-	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ ./internal/rss/ ./internal/fleet/ ./internal/tenant/ ./internal/durable/ | tee /tmp/ehdl-cover.txt
+	@$(GO) test -cover ./internal/protect/ ./internal/hwsim/ ./internal/obs/ ./internal/rss/ ./internal/fastpath/ ./internal/fleet/ ./internal/tenant/ ./internal/durable/ | tee /tmp/ehdl-cover.txt
 	@awk 'function gate(pkg, floor,    a) { seen[pkg] = 1; split($$5, a, "%"); \
 	          if (a[1]+0 < floor) { printf "FAIL: internal/%s coverage %s%% < %d%%\n", pkg, a[1], floor; bad = 1 } } \
-	      /internal\/protect/ { gate("protect", 90) } \
-	      /internal\/hwsim/   { gate("hwsim", 75) } \
-	      /internal\/obs/     { gate("obs", 85) } \
-	      /internal\/rss/     { gate("rss", 85) } \
-	      /internal\/fleet/   { gate("fleet", 85) } \
-	      /internal\/tenant/  { gate("tenant", 85) } \
-	      /internal\/durable/ { gate("durable", 85) } \
-	      END { n = split("protect hwsim obs rss fleet tenant durable", want, " "); \
+	      /internal\/protect/  { gate("protect", 90) } \
+	      /internal\/hwsim/    { gate("hwsim", 75) } \
+	      /internal\/obs/      { gate("obs", 85) } \
+	      /internal\/rss/      { gate("rss", 85) } \
+	      /internal\/fastpath/ { gate("fastpath", 85) } \
+	      /internal\/fleet/    { gate("fleet", 85) } \
+	      /internal\/tenant/   { gate("tenant", 85) } \
+	      /internal\/durable/  { gate("durable", 85) } \
+	      END { n = split("protect hwsim obs rss fastpath fleet tenant durable", want, " "); \
 	            for (i = 1; i <= n; i++) if (!seen[want[i]]) { printf "FAIL: internal/%s missing from coverage output\n", want[i]; bad = 1 } \
 	            exit bad }' /tmp/ehdl-cover.txt
 	@echo "coverage gates passed"
 
-# Short fuzz sweeps over the five adversarial surfaces: the vm-vs-hwsim
-# conformance fuzzer, the migration schema/copy fuzzer, the RSS
+# Short fuzz sweeps over the six adversarial surfaces: the vm-vs-hwsim
+# conformance fuzzer, the three-way vm/interpreter/fast-path fuzzer
+# (random frames against every app — one divergent verdict, map byte or
+# ledger count fails), the migration schema/copy fuzzer, the RSS
 # dispatcher fuzzer (malformed/truncated frames against the Toeplitz
 # front end), the tenant classifier fuzzer (the same hostile frames
 # against the VLAN/prefix steering — unclassifiable input must be
@@ -78,6 +82,7 @@ cover:
 # corpus plus fresh mutations, not a campaign.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime 10s ./internal/conformance/
+	$(GO) test -run '^$$' -fuzz FuzzFastPath -fuzztime 10s ./internal/conformance/
 	$(GO) test -run '^$$' -fuzz FuzzMigrate -fuzztime 10s ./internal/liveupdate/
 	$(GO) test -run '^$$' -fuzz FuzzRSSDispatch -fuzztime 10s ./internal/rss/
 	$(GO) test -run '^$$' -fuzz FuzzTenantClassifier -fuzztime 10s ./internal/tenant/

@@ -23,6 +23,7 @@ import (
 	"ehdl/internal/baseline/sdnet"
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
+	"ehdl/internal/fastpath"
 	"ehdl/internal/hdl"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/nic"
@@ -420,6 +421,52 @@ func BenchmarkVMInterpreter(b *testing.B) {
 		if _, err := m.Run(vm.NewPacket(pkt)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFastPath is BenchmarkVMInterpreter's sibling on the
+// compiled engine: the same firewall program and traffic, executed by
+// the fused per-stage closure chain in steady state (each Step retires
+// one packet and promotes the next, so ns/op is the per-packet cost).
+// The ratio of the two ns/op figures is the host speedup the benchreg
+// host/fastpath points gate.
+func BenchmarkFastPath(b *testing.B) {
+	app := apps.Firewall()
+	pl := compileFor(b, app, core.Options{})
+	m, err := fastpath.New(pl, hwsim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := app.Setup(m.Maps()); err != nil {
+		b.Fatal(err)
+	}
+	gen := pktgen.NewGenerator(app.Traffic)
+	pkt := gen.Next()
+	// Warm up map and handle-table state so the timed loop is the
+	// allocation-free happy path the zero-alloc test guards.
+	m.Inject(pkt)
+	if err := m.RunToCompletion(1 << 16); err != nil {
+		b.Fatal(err)
+	}
+	clean := m.Maps().Snapshot()
+	const resetEvery = 4096
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%resetEvery == 0 {
+			b.StopTimer()
+			if err := m.Maps().Restore(clean); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		m.Inject(pkt)
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := m.RunToCompletion(1 << 16); err != nil {
+		b.Fatal(err)
 	}
 }
 

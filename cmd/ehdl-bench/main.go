@@ -36,9 +36,10 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment id or 'all'")
-		packets = flag.Int("packets", 8000, "packets per measurement point")
-		list    = flag.Bool("list", false, "list experiment ids")
+		exp      = flag.String("exp", "all", "experiment id or 'all'")
+		packets  = flag.Int("packets", 8000, "packets per measurement point")
+		fastPath = flag.Bool("fastpath", false, "serve eligible points from the compiled host fast path (hazard effects like flushes are not modelled there; ineligible points fall back to the interpreter)")
+		list     = flag.Bool("list", false, "list experiment ids")
 
 		baselineOut   = flag.String("baseline-out", "", "collect the regression baseline and write it to this JSON file")
 		baselineCheck = flag.String("baseline-check", "", "re-collect and fail if Mpps regresses vs this baseline file")
@@ -84,7 +85,7 @@ func run() int {
 		return runBaseline(*baselineOut, *baselineCheck, *baselineTol)
 	}
 
-	cfg := experiments.Config{Packets: *packets}
+	cfg := experiments.Config{Packets: *packets, FastPath: *fastPath}
 	all := experiments.All()
 
 	ids := experiments.IDs()
@@ -160,8 +161,11 @@ func printPoints(b *benchreg.Baseline) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		gate := "  "
-		if strings.HasSuffix(k, "/mpps") && !strings.HasPrefix(k, "host/") {
-			gate = "* " // gated against the baseline
+		switch {
+		case strings.HasSuffix(k, "/mpps") && !strings.HasPrefix(k, "host/"):
+			gate = "* " // gated against the baseline (5% tolerance)
+		case k == benchreg.KeyFastpathToyMpps || k == benchreg.KeyFastpathSpeedup4Q:
+			gate = "* " // gated: fast-path floor (see benchreg.Compare)
 		}
 		fmt.Printf("  %s%-32s %12.3f\n", gate, k, b.Points[k])
 	}

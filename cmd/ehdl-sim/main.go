@@ -21,7 +21,7 @@ package main
 
 import (
 	"errors"
-	"flag"
+	flagpkg "flag"
 	"fmt"
 	"os"
 
@@ -39,10 +39,11 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:]))
 }
 
-func run() int {
+func run(args []string) int {
+	flag := flagpkg.NewFlagSet("ehdl-sim", flagpkg.ContinueOnError)
 	var (
 		appName   = flag.String("app", "firewall", "application to run")
 		packets   = flag.Int("packets", 20000, "packets to offer")
@@ -51,6 +52,7 @@ func run() int {
 		pktLen    = flag.Int("pktlen", 0, "packet size (0: application default)")
 		policy    = flag.String("policy", "flush", "RAW hazard policy: flush|stall")
 		queues    = flag.Int("queues", 1, "pipeline replicas behind the RSS dispatcher (1: classic single queue)")
+		fastPath  = flag.Bool("fastpath", false, "serve traffic from the compiled host fast path (the cycle-accurate interpreter remains the oracle)")
 		batch     = flag.Int("batch", 0, "RSS dispatch batch size in packets (0: default 64; multi-queue only)")
 		replay    = flag.String("replay", "", "replay a synthetic trace profile instead: caida|mawi")
 		intensity = flag.Float64("faults", 0, "fault-injection intensity in (0,1]: SEUs, malformed frames, overflow bursts, flush storms")
@@ -77,7 +79,9 @@ func run() int {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file when the run stops")
 		rtTrace   = flag.String("runtime-trace", "", "write a runtime/trace execution trace to this file")
 	)
-	flag.Parse()
+	if err := flag.Parse(args); err != nil {
+		return 1
+	}
 
 	// Flag-combination validation: everything rejected here is a usage
 	// error (exit 1) before any work starts.
@@ -124,6 +128,28 @@ func run() int {
 		return usage(fmt.Errorf("-band only applies with -tenants"))
 	case *tenantBand < 0 || *tenantBand > 100:
 		return usage(fmt.Errorf("-band must be in (0,100], got %g", *tenantBand))
+
+	// The compiled fast path serves only configurations it can run
+	// bit-identically; everything below keeps the cycle-accurate
+	// interpreter (the fallback matrix in DESIGN.md). The library falls
+	// back silently, but a user who asked for -fastpath explicitly gets
+	// told why the request cannot be honoured instead.
+	case *fastPath && *tenantsSpec != "":
+		return usage(fmt.Errorf("-tenants runs per-tenant interpreter pipelines; -fastpath drives the single- or multi-queue shell"))
+	case *fastPath && *intensity > 0:
+		return usage(fmt.Errorf("-faults needs the cycle-accurate interpreter; drop -fastpath"))
+	case *fastPath && *protLevel != "none":
+		return usage(fmt.Errorf("-protect needs the cycle-accurate interpreter; drop -fastpath"))
+	case *fastPath && *watchdog > 0:
+		return usage(fmt.Errorf("-watchdog needs the cycle-accurate interpreter; drop -fastpath"))
+	case *fastPath && *policy == "stall":
+		return usage(fmt.Errorf("-policy stall models stalls the fast path elides; drop -fastpath"))
+	case *fastPath && (*tracePath != "" || *traceText):
+		return usage(fmt.Errorf("cycle-level tracing needs the interpreter; drop -fastpath"))
+	case *fastPath && *metrics:
+		return usage(fmt.Errorf("-metrics needs the interpreter; drop -fastpath"))
+	case *fastPath && *updProg != "" && *queues == 1:
+		return usage(fmt.Errorf("a single-queue live update serves from the interpreter for the whole run; drop -fastpath or use -queues >= 2"))
 	}
 
 	prof := obs.ProfileConfig{
@@ -210,7 +236,7 @@ func run() int {
 		return fail(err)
 	}
 
-	cfg := nic.ShellConfig{Queues: *queues, Batch: *batch}
+	cfg := nic.ShellConfig{Queues: *queues, Batch: *batch, FastPath: *fastPath}
 	if *policy == "stall" {
 		cfg.Sim.Policy = hwsim.PolicyStall
 	}
@@ -286,8 +312,12 @@ func run() int {
 		offered = sh.LineRateMpps(frameLen) * 1e6
 	}
 
-	fmt.Printf("running %s: %d stages, %d packets at %.1f Mpps offered\n",
-		app.Name, pl.NumStages(), *packets, offered/1e6)
+	mode := "cycle-accurate interpreter"
+	if sh.FastPath() {
+		mode = "compiled fast path"
+	}
+	fmt.Printf("running %s: %d stages, %d packets at %.1f Mpps offered (%s)\n",
+		app.Name, pl.NumStages(), *packets, offered/1e6, mode)
 	rep, err := sh.RunLoad(next, *packets, offered)
 	if errors.Is(err, hwsim.ErrRecoveryExhausted) {
 		// The typed give-up of the recovery subsystem: the store kept

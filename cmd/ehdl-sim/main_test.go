@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// runCapture runs the CLI entry point with its stdout captured; stderr
+// (usage errors) is left alone so failures stay visible in -v output.
+func runCapture(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := run(args)
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return code, buf.String()
+}
+
+// TestFlagValidation pins the usage gate: every conflicting flag
+// combination is exit 1 before any simulation work starts.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"positional args", []string{"firewall"}},
+		{"zero packets", []string{"-packets", "0"}},
+		{"negative rate", []string{"-rate", "-1"}},
+		{"batch single queue", []string{"-batch", "32"}},
+		{"update without trigger", []string{"-update-prog", "toy"}},
+		{"trigger without update", []string{"-update-after", "10"}},
+		{"tenants with queues", []string{"-tenants", "toy:0.5", "-queues", "2"}},
+
+		{"fastpath tenants", []string{"-fastpath", "-tenants", "toy:0.5"}},
+		{"fastpath faults", []string{"-fastpath", "-faults", "0.1"}},
+		{"fastpath protect", []string{"-fastpath", "-protect", "ecc"}},
+		{"fastpath watchdog", []string{"-fastpath", "-watchdog", "100"}},
+		{"fastpath stall", []string{"-fastpath", "-policy", "stall"}},
+		{"fastpath trace", []string{"-fastpath", "-trace", "/tmp/t.jsonl"}},
+		{"fastpath trace-text", []string{"-fastpath", "-trace-text"}},
+		{"fastpath metrics", []string{"-fastpath", "-metrics"}},
+		{"fastpath single-queue update", []string{"-fastpath", "-update-prog", "leakybucket", "-update-after", "100"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, _ := runCapture(t, tc.args...); code != 1 {
+				t.Errorf("args %v: exit %d, want usage error (1)", tc.args, code)
+			}
+		})
+	}
+}
+
+// TestFastPathServes runs a short load in each engine mode and checks
+// the banner reports which engine actually served the traffic.
+func TestFastPathServes(t *testing.T) {
+	code, out := runCapture(t, "-app", "toy", "-packets", "2000", "-fastpath")
+	if code != 0 {
+		t.Fatalf("fastpath run: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "(compiled fast path)") {
+		t.Errorf("fastpath run did not report the compiled engine:\n%s", out)
+	}
+	if !strings.Contains(out, "received:  2000 of 2000") {
+		t.Errorf("fastpath run lost packets:\n%s", out)
+	}
+
+	code, out = runCapture(t, "-app", "toy", "-packets", "2000")
+	if code != 0 {
+		t.Fatalf("interpreter run: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "(cycle-accurate interpreter)") {
+		t.Errorf("default run did not report the interpreter:\n%s", out)
+	}
+}
+
+// TestFastPathMultiQueue covers the RSS leg of the -fastpath switch.
+func TestFastPathMultiQueue(t *testing.T) {
+	code, out := runCapture(t, "-app", "toy", "-packets", "4000", "-queues", "2", "-fastpath")
+	if code != 0 {
+		t.Fatalf("multi-queue fastpath run: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "(compiled fast path)") {
+		t.Errorf("multi-queue run did not report the compiled engine:\n%s", out)
+	}
+	if !strings.Contains(out, "2 replicas") {
+		t.Errorf("multi-queue run did not report its replicas:\n%s", out)
+	}
+}

@@ -32,6 +32,8 @@ func TestCollectCoversEveryFigure(t *testing.T) {
 		"fig9a/firewall/mpps", "fig9a/suricata/mpps", "fig9b/router/latency_ns",
 		"fig10/firewall/lut_pct", "fig10/firewall/bram_pct",
 		"scaling/toy/q1/mpps", "scaling/toy/q8/mpps", "scaling/toy/speedup_4q",
+		KeyFastpathToyMpps, "host/fastpath/firewall/mpps",
+		"host/fastpath/toy/q4/mpps", KeyFastpathSpeedup4Q,
 	} {
 		if _, ok := b.Points[k]; !ok {
 			t.Errorf("point %q missing", k)
@@ -106,6 +108,61 @@ func TestCompareFlagsRegressions(t *testing.T) {
 	}
 	if regs := Compare(base, &Baseline{Packets: 99, Points: map[string]float64{}}, 5); len(regs) != 1 {
 		t.Errorf("packet-count mismatch not flagged: %v", regs)
+	}
+}
+
+// TestFastpathGates pins the compiled-path gate arithmetic: the gates
+// arm only when the baseline records the fast-path keys, the Mpps gate
+// floors at FastpathFactor times the smaller of the committed and the
+// just-measured interpreter rate (noise on the collecting host sinks
+// both legs together; a fast host cannot raise the bar), and the
+// 4-queue speedup must strictly exceed 1.
+func TestFastpathGates(t *testing.T) {
+	base := &Baseline{Packets: 100, Points: map[string]float64{
+		KeyScalingToyQ1Mpps:  0.4,
+		KeyFastpathToyMpps:   6,
+		KeyFastpathSpeedup4Q: 8,
+	}}
+	cur := &Baseline{Packets: 100, Points: map[string]float64{
+		KeyScalingToyQ1Mpps:  0.2, // a slow collection day halves the denominator too
+		KeyFastpathToyMpps:   2.5, // above 10 x min(0.4, 0.2)
+		KeyFastpathSpeedup4Q: 1.5,
+	}}
+	if regs := Compare(base, cur, 5); len(regs) != 0 {
+		t.Errorf("passing fast path flagged: %v", regs)
+	}
+
+	cur.Points[KeyFastpathToyMpps] = 1.9 // below 10 x min(0.4, 0.2)
+	regs := Compare(base, cur, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], KeyFastpathToyMpps) {
+		t.Errorf("sub-floor fast path not flagged: %v", regs)
+	}
+
+	// A fast host cannot raise the bar past the committed rate.
+	cur.Points[KeyScalingToyQ1Mpps] = 0.9
+	cur.Points[KeyFastpathToyMpps] = 4.5 // above 10 x min(0.4, 0.9), below 10 x 0.9
+	if regs := Compare(base, cur, 5); len(regs) != 0 {
+		t.Errorf("committed-rate cap not applied: %v", regs)
+	}
+	cur.Points[KeyScalingToyQ1Mpps] = 0.2
+	cur.Points[KeyFastpathToyMpps] = 2.5
+
+	cur.Points[KeyFastpathSpeedup4Q] = 0.97
+	regs = Compare(base, cur, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], KeyFastpathSpeedup4Q) {
+		t.Errorf("speedup <= 1 not flagged: %v", regs)
+	}
+	delete(cur.Points, KeyFastpathSpeedup4Q)
+	regs = Compare(base, cur, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "disappeared") {
+		t.Errorf("vanished speedup not flagged: %v", regs)
+	}
+
+	// A baseline that predates the fast path arms nothing, whatever the
+	// current collection contains.
+	old := &Baseline{Packets: 100, Points: map[string]float64{KeyScalingToyQ1Mpps: 0.4}}
+	if regs := Compare(old, &Baseline{Packets: 100, Points: map[string]float64{}}, 5); len(regs) != 0 {
+		t.Errorf("pre-fastpath baseline armed gates: %v", regs)
 	}
 }
 

@@ -1,15 +1,16 @@
-// Package conformance is the differential vm <-> hwsim test surface:
-// every evaluation application runs the same seeded traffic through the
-// reference interpreter (internal/vm) and the cycle-accurate pipeline
-// simulator (internal/hwsim), and the two must agree bit for bit on
-// verdicts, packet bytes and final map state.
+// Package conformance is the differential test surface across the three
+// execution engines: every evaluation application runs the same seeded
+// traffic through the reference interpreter (internal/vm), the
+// cycle-accurate pipeline simulator (internal/hwsim) and the compiled
+// host fast path (internal/fastpath), and all of them must agree bit
+// for bit on verdicts, packet bytes and final map state.
 //
-// The architectural contract that makes this possible: both engines
+// The architectural contract that makes this possible: the engines
 // share the instruction semantics (vm.ExecALU and friends), the map
-// substrate (internal/maps) and the helper surface, and both pin the
+// substrate (internal/maps) and the helper surface, and all pin the
 // helper-visible clock to zero here, so a divergence is always a
-// pipelining bug (hazard handling, state pruning, predication), never
-// an environmental artefact.
+// pipelining or specialization bug (hazard handling, state pruning,
+// predication, closure compilation), never an environmental artefact.
 package conformance
 
 import (
@@ -19,6 +20,7 @@ import (
 	"ehdl/internal/apps"
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
+	"ehdl/internal/fastpath"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/maps"
 	"ehdl/internal/vm"
@@ -56,6 +58,76 @@ func DiffApp(a *apps.App, packets [][]byte, cfg Config) error {
 		return err
 	}
 	return DiffProgram(prog, a.SetupHost, packets, cfg)
+}
+
+// DiffAppThreeWay assembles an application and runs the three-way
+// vm <-> interpreter <-> fastpath differential on the given traffic.
+func DiffAppThreeWay(a *apps.App, packets [][]byte, cfg Config) error {
+	prog, err := a.Program()
+	if err != nil {
+		return err
+	}
+	return DiffProgramThreeWay(prog, a.SetupHost, packets, cfg)
+}
+
+// DiffProgramThreeWay runs packets through the reference interpreter,
+// the cycle-accurate simulator and the compiled fast path, and returns
+// an error describing the first divergence between any pair: verdicts,
+// redirect targets, packet bytes and the final map state must all be
+// identical on all three engines.
+func DiffProgramThreeWay(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]byte, cfg Config) error {
+	refs, refMaps, err := runReference(prog, setup, packets)
+	if err != nil {
+		return fmt.Errorf("conformance: reference: %w", err)
+	}
+	outs, simMaps, err := runPipeline(prog, setup, packets, cfg)
+	if err != nil {
+		return fmt.Errorf("conformance: pipeline: %w", err)
+	}
+	fasts, fastMaps, err := runFastPath(prog, setup, packets, cfg)
+	if err != nil {
+		return fmt.Errorf("conformance: fastpath: %w", err)
+	}
+	for i := range packets {
+		if err := CompareOutcome(outs[i], refs[i]); err != nil {
+			return fmt.Errorf("conformance: pipeline vs reference: packet %d (%dB): %w", i, len(packets[i]), err)
+		}
+		if err := CompareOutcome(fasts[i], refs[i]); err != nil {
+			return fmt.Errorf("conformance: fastpath vs reference: packet %d (%dB): %w", i, len(packets[i]), err)
+		}
+		if err := CompareOutcome(fasts[i], outs[i]); err != nil {
+			return fmt.Errorf("conformance: fastpath vs pipeline: packet %d (%dB): %w", i, len(packets[i]), err)
+		}
+	}
+	if err := CompareMaps(refMaps, simMaps); err != nil {
+		return fmt.Errorf("pipeline vs reference: %w", err)
+	}
+	if err := CompareMaps(refMaps, fastMaps); err != nil {
+		return fmt.Errorf("fastpath vs reference: %w", err)
+	}
+	return CompareMaps(simMaps, fastMaps)
+}
+
+// DiffProgramFastPath runs packets through the cycle-accurate
+// interpreter and the compiled fast path only (no vm reference). The
+// fuzzer uses it as an exact oracle: both engines implement the
+// hardware bounds check identically, so they must agree on every input,
+// including malformed frames the elision-aware vm oracle cannot judge.
+func DiffProgramFastPath(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]byte, cfg Config) error {
+	outs, simMaps, err := runPipeline(prog, setup, packets, cfg)
+	if err != nil {
+		return fmt.Errorf("conformance: pipeline: %w", err)
+	}
+	fasts, fastMaps, err := runFastPath(prog, setup, packets, cfg)
+	if err != nil {
+		return fmt.Errorf("conformance: fastpath: %w", err)
+	}
+	for i := range packets {
+		if err := CompareOutcome(fasts[i], outs[i]); err != nil {
+			return fmt.Errorf("conformance: fastpath vs pipeline: packet %d (%dB): %w", i, len(packets[i]), err)
+		}
+	}
+	return CompareMaps(simMaps, fastMaps)
 }
 
 // DiffProgram runs packets through the reference interpreter and the
@@ -141,17 +213,38 @@ func runPipeline(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]by
 	if err != nil {
 		return nil, nil, err
 	}
-	sim.SetClock(func() uint64 { return 0 })
-	sim.KeepData(true)
+	return runEngine(sim, setup, packets, cfg.maxCycles())
+}
+
+// runFastPath compiles and executes every packet on the compiled host
+// fast path, driven through the same paced-generator loop as the
+// interpreter so the two runs see identical injection schedules.
+func runFastPath(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]byte, cfg Config) ([]Outcome, *maps.Set, error) {
+	pl, err := core.Compile(prog, cfg.Opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("compile: %w", err)
+	}
+	m, err := fastpath.New(pl, cfg.Sim)
+	if err != nil {
+		return nil, nil, err
+	}
+	return runEngine(m, setup, packets, cfg.maxCycles())
+}
+
+// runEngine drives one execution engine — interpreter or fast path —
+// over the traffic with input backpressure like a paced generator.
+func runEngine(eng hwsim.Core, setup func(*maps.Set) error, packets [][]byte, maxCycles uint64) ([]Outcome, *maps.Set, error) {
+	eng.SetClock(func() uint64 { return 0 })
+	eng.KeepData(true)
 	if setup != nil {
-		if err := setup(sim.Maps()); err != nil {
+		if err := setup(eng.Maps()); err != nil {
 			return nil, nil, err
 		}
 	}
 	outs := make([]Outcome, len(packets))
 	seen := make([]bool, len(packets))
 	completed := 0
-	sim.OnComplete(func(res hwsim.Result) {
+	eng.OnComplete(func(res hwsim.Result) {
 		if res.Seq < uint64(len(outs)) && !seen[res.Seq] {
 			seen[res.Seq] = true
 			outs[res.Seq] = Outcome{
@@ -163,23 +256,23 @@ func runPipeline(prog *ebpf.Program, setup func(*maps.Set) error, packets [][]by
 		}
 	})
 	for i, data := range packets {
-		for !sim.InputFree() {
-			if err := sim.Step(); err != nil {
+		for !eng.InputFree() {
+			if err := eng.Step(); err != nil {
 				return nil, nil, fmt.Errorf("packet %d: %w", i, err)
 			}
 		}
-		sim.Inject(data)
-		if err := sim.Step(); err != nil {
+		eng.Inject(data)
+		if err := eng.Step(); err != nil {
 			return nil, nil, fmt.Errorf("packet %d: %w", i, err)
 		}
 	}
-	if err := sim.RunToCompletion(cfg.maxCycles()); err != nil {
+	if err := eng.RunToCompletion(maxCycles); err != nil {
 		return nil, nil, err
 	}
 	if completed != len(packets) {
 		return nil, nil, fmt.Errorf("%d of %d packets completed", completed, len(packets))
 	}
-	return outs, sim.Maps(), nil
+	return outs, eng.Maps(), nil
 }
 
 // CompareMaps compares two map sets entry by entry, got against ref.

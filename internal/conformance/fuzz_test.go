@@ -99,3 +99,46 @@ func FuzzDifferential(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFastPath is the interpreter-vs-compiled differential fuzzer:
+// arbitrary (mostly malformed) packets run through the cycle-accurate
+// simulator and the compiled fast path, sandwiched between two
+// well-formed packets of one established flow so the fuzz input
+// interacts with live map state. Unlike FuzzDifferential's vm oracle,
+// this pair is exact for every input: both engines execute the same
+// specialized pipeline including the hardware per-access bounds check
+// that stands in for bounds-elided program checks, so verdicts,
+// rewritten bytes and final map state must match bit for bit even on
+// truncated frames where the vm reference legally diverges.
+func FuzzFastPath(f *testing.F) {
+	for _, pkt := range fuzzSeedCorpus(0xFA57) {
+		f.Add(pkt)
+	}
+	app, ok := apps.ByName("firewall")
+	if !ok {
+		f.Fatal("unknown app firewall")
+	}
+	prog, err := app.Program()
+	if err != nil {
+		f.Fatal(err)
+	}
+	well := pktgen.Build(pktgen.PacketSpec{
+		Flow:     pktgen.Flow{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 4242, DstPort: 8080, Proto: 17},
+		TotalLen: 64,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			t.Skip("oversized fuzz input")
+		}
+		packets := [][]byte{well, data, well}
+		if err := DiffProgramFastPath(prog, app.SetupHost, packets, Config{MaxCycles: 1 << 18}); err != nil {
+			t.Fatal(err)
+		}
+		// And with the compiler's bounds elision off, so the fuzzer also
+		// exercises closures specialized from the unpruned check chain.
+		noElide := Config{Opts: core.Options{DisableBoundsElision: true}, MaxCycles: 1 << 18}
+		if err := DiffProgramFastPath(prog, app.SetupHost, packets, noElide); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

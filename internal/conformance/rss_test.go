@@ -16,8 +16,10 @@ import (
 // count with the helper clock pinned to zero (matching the rest of the
 // suite) and payload retention on, and returns the outcomes indexed by
 // global arrival sequence plus the session stats and the merged host
-// map view.
-func multiQueueRun(t *testing.T, app *apps.App, packets [][]byte, queues int) ([]Outcome, rss.RunStats, *maps.Set) {
+// map view. With fastPath set, every replica must actually run the
+// compiled engine — a silent fallback would make the differential
+// vacuous, so it fails the test.
+func multiQueueRun(t *testing.T, app *apps.App, packets [][]byte, queues int, fastPath bool) ([]Outcome, rss.RunStats, *maps.Set) {
 	t.Helper()
 	prog, err := app.Program()
 	if err != nil {
@@ -27,9 +29,12 @@ func multiQueueRun(t *testing.T, app *apps.App, packets [][]byte, queues int) ([
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := rss.NewEngine(pl, rss.Config{Queues: queues})
+	e, err := rss.NewEngine(pl, rss.Config{Queues: queues, FastPath: fastPath})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fastPath && !e.FastPath() {
+		t.Fatalf("%d queues: engine fell back to the interpreter on an eligible config", queues)
 	}
 	e.SetClock(func() uint64 { return 0 })
 	e.KeepData(true)
@@ -101,7 +106,7 @@ func TestRSSFlowConformance(t *testing.T) {
 			}
 
 			for _, queues := range []int{1, 2, 4, 8} {
-				outs, rs, merged := multiQueueRun(t, app, packets, queues)
+				outs, rs, merged := multiQueueRun(t, app, packets, queues, false)
 				if rs.MergeConflicts != 0 {
 					t.Fatalf("%d queues: %d merge conflicts (flow pinning violated)", queues, rs.MergeConflicts)
 				}
@@ -127,6 +132,56 @@ func TestRSSFlowConformance(t *testing.T) {
 				}
 				if err := CompareMaps(baseMaps, merged); err != nil {
 					t.Fatalf("%d queues: merged state: %v", queues, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRSSFastPathConformance is the multi-queue leg of the three-way
+// differential: for every application at 1, 2, 4 and 8 queues, a fleet
+// of compiled replicas must be observationally identical both to the
+// interpreted fleet on the same traffic and to the single-pipeline
+// reference — per-arrival verdicts, redirect targets and rewritten
+// bytes, and the merged host map state entry for entry. Run under
+// -race (the Makefile test gate does) this also exercises concurrent
+// compiled replicas sharing read-only maps across worker goroutines.
+func TestRSSFastPathConformance(t *testing.T) {
+	for _, app := range AllApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			cfg := app.Traffic
+			if cfg.Flows < 32 {
+				cfg.Flows = 32
+			}
+			cfg.Seed = 0x55aa
+			packets := pktgen.NewGenerator(cfg).Batch(240)
+
+			prog, err := app.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, baseMaps, err := runPipeline(prog, app.SetupHost, packets, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, queues := range []int{1, 2, 4, 8} {
+				fastOuts, _, fastMerged := multiQueueRun(t, app, packets, queues, true)
+				interpOuts, _, interpMerged := multiQueueRun(t, app, packets, queues, false)
+				for i := range packets {
+					if err := CompareOutcome(fastOuts[i], base[i]); err != nil {
+						t.Fatalf("%d queues: packet %d vs reference: %v", queues, i, err)
+					}
+					if err := CompareOutcome(fastOuts[i], interpOuts[i]); err != nil {
+						t.Fatalf("%d queues: packet %d vs interpreted fleet: %v", queues, i, err)
+					}
+				}
+				if err := CompareMaps(baseMaps, fastMerged); err != nil {
+					t.Fatalf("%d queues: merged state vs reference: %v", queues, err)
+				}
+				if err := CompareMaps(interpMerged, fastMerged); err != nil {
+					t.Fatalf("%d queues: merged state vs interpreted fleet: %v", queues, err)
 				}
 			}
 		})

@@ -75,6 +75,12 @@ func (t Table) String() string {
 type Config struct {
 	// Packets per measurement point. 0 means 4000.
 	Packets int
+	// FastPath serves eligible measurement points from the compiled
+	// host engine instead of the cycle-accurate interpreter. Points
+	// whose configuration the fast path cannot run bit-identically
+	// (fault campaigns, protection, stall policy) fall back silently,
+	// exactly as the library does.
+	FastPath bool
 }
 
 func (c Config) packets() int {
@@ -208,7 +214,7 @@ func Fig9aThroughput(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		sh, err := nic.New(pl, nic.ShellConfig{})
+		sh, err := nic.New(pl, nic.ShellConfig{FastPath: cfg.FastPath})
 		if err != nil {
 			return t, err
 		}
@@ -262,7 +268,7 @@ func Fig9bLatency(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		sh, err := nic.New(pl, nic.ShellConfig{})
+		sh, err := nic.New(pl, nic.ShellConfig{FastPath: cfg.FastPath})
 		if err != nil {
 			return t, err
 		}
@@ -354,7 +360,7 @@ func Table2Flushing(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		sh, err := nic.New(pl, nic.ShellConfig{})
+		sh, err := nic.New(pl, nic.ShellConfig{FastPath: cfg.FastPath})
 		if err != nil {
 			return t, err
 		}
@@ -385,7 +391,7 @@ func SingleFlowDegradation(cfg Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	sh, err := nic.New(pl, nic.ShellConfig{})
+	sh, err := nic.New(pl, nic.ShellConfig{FastPath: cfg.FastPath})
 	if err != nil {
 		return t, err
 	}
@@ -404,7 +410,7 @@ func SingleFlowDegradation(cfg Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	sh2, err := nic.New(pl2, nic.ShellConfig{Sim: hwsim.Config{InputQueuePackets: 64}})
+	sh2, err := nic.New(pl2, nic.ShellConfig{FastPath: cfg.FastPath, Sim: hwsim.Config{InputQueuePackets: 64}})
 	if err != nil {
 		return t, err
 	}
@@ -616,7 +622,7 @@ func LoadBalancerDemo(cfg Config) (Table, error) {
 	if err != nil {
 		return t, err
 	}
-	sh, err := nic.New(pl, nic.ShellConfig{})
+	sh, err := nic.New(pl, nic.ShellConfig{FastPath: cfg.FastPath})
 	if err != nil {
 		return t, err
 	}
@@ -763,7 +769,7 @@ func LiveUpdateUnderLoad(cfg Config) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		sh, err := nic.New(pl, nic.ShellConfig{})
+		sh, err := nic.New(pl, nic.ShellConfig{FastPath: cfg.FastPath})
 		if err != nil {
 			return t, err
 		}

@@ -1,0 +1,78 @@
+//go:build !race
+
+// AllocsPerRun interacts badly with the race detector's instrumented
+// allocator, so this file sits outside the -race test gate; the same
+// code paths run (with allocation untested) in the regular suite.
+
+package fastpath
+
+import (
+	"testing"
+
+	"ehdl/internal/apps"
+	"ehdl/internal/core"
+	"ehdl/internal/hwsim"
+	"ehdl/internal/pktgen"
+)
+
+// TestZeroAllocsPerPacket is the fast path's defining performance
+// contract: after warm-up (map entries inserted, value handles bound,
+// packet buffer grown to the largest frame) the per-packet happy path
+// — inject, execute every fused stage closure, retire — performs zero
+// heap allocations. Toy is the minimal pipeline; firewall exercises
+// map lookups, conditional state updates and the full parser chain.
+func TestZeroAllocsPerPacket(t *testing.T) {
+	for _, name := range []string{"toy", "firewall"} {
+		t.Run(name, func(t *testing.T) {
+			app, ok := apps.ByName(name)
+			if !ok {
+				t.Fatalf("unknown app %s", name)
+			}
+			prog, err := app.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := core.Compile(prog, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := New(pl, hwsim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if app.SetupHost != nil {
+				if err := app.SetupHost(m.Maps()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cfg := app.Traffic
+			cfg.Seed = 1
+			packets := pktgen.NewGenerator(cfg).Batch(64)
+
+			// Warm up: every flow inserts its map state and handle-table
+			// entries on first sight; those one-time costs are setup, not
+			// per-packet work.
+			for _, p := range packets {
+				m.Inject(p)
+			}
+			if err := m.RunToCompletion(1 << 20); err != nil {
+				t.Fatal(err)
+			}
+
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				m.Inject(packets[i%len(packets)])
+				if err := m.Step(); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if err := m.RunToCompletion(1 << 20); err != nil {
+				t.Fatal(err)
+			}
+			if allocs != 0 {
+				t.Errorf("%s: %.1f allocs per packet on the happy path, want 0", name, allocs)
+			}
+		})
+	}
+}

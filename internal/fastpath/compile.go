@@ -1,0 +1,526 @@
+// Package fastpath executes compiled eHDL pipelines at host speed.
+//
+// The cycle-accurate simulator (internal/hwsim) advances a design one
+// stage per clock and models the map-consistency machinery — WAR write
+// shadows, RAW flush evaluation, stalls — in full. That fidelity costs
+// microseconds per packet on the host, which BENCH_baseline.json shows
+// is now the real bottleneck. This package is the second execution
+// mode: Compile specializes a design once into a per-stage closure
+// chain (constants folded, map handles captured, predicate bits wired),
+// and Machine runs each packet through the chain with no per-packet
+// heap allocation on the happy path.
+//
+// The compiled path is sequential: a packet fully executes at ingress,
+// and a lightweight timing skeleton reproduces the interpreter's
+// hazard-free injection pacing, pipeline-depth latency and queue
+// accounting. The existing differential suite proves the pipelined
+// interpreter equivalent to the sequential reference on verdicts, map
+// effects and packet bytes, so the fast path is bit-identical to both
+// wherever it is eligible to run; the interpreter remains the oracle
+// (internal/conformance runs vm, hwsim and fastpath three ways). Fault
+// injection, memory protection, stall policy, strict carry checking and
+// cycle-level observability keep the interpreter (see Eligible and the
+// fallback matrix in DESIGN.md).
+package fastpath
+
+import (
+	"errors"
+	"fmt"
+
+	"ehdl/internal/core"
+	"ehdl/internal/ddg"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/maps"
+	"ehdl/internal/vm"
+)
+
+// errNoLookup mirrors the interpreter's error for a statically wired map
+// access whose lookup missed (or never ran); it propagates as a run
+// error exactly like hwsim's.
+var errNoLookup = errors.New("map access without a preceding lookup hit")
+
+// compiledOp is one specialized micro-operation: the block-enable bit
+// that gates it and the fused closure that executes it. The infallible
+// register-only kinds (ALU chains, constant loads, branch predicates)
+// carry their closure in a dedicated field so the dispatch loop calls
+// them directly — no wrapper closure, no error check on ops that
+// cannot fail.
+type compiledOp struct {
+	blockID  int
+	stage    int32                   // originating pipeline stage (done-ness boundary)
+	skip     int                     // index after this op's contiguous block run
+	fall     int                     // successor enabled after alu (-1: none)
+	alu      func(st *vm.State)      // register-only op; nil → pred or run
+	pred     func(st *vm.State) bool // branch predicate; nil → run
+	taken    int
+	notTaken int
+	run      func(m *Machine) error // everything that can touch memory or fail
+}
+
+// Prog is a design compiled for host-speed execution. It is immutable
+// after Compile and safe to share across Machines (each replica of a
+// multi-queue engine binds the same Prog to its own map environment).
+// The ops of every stage live in one flat slice — the dispatch loop
+// detects stage boundaries by the op's stage field, where exit/fault
+// done-ness takes effect (ops within a stage run "in parallel").
+type Prog struct {
+	pl  *core.Pipeline
+	ops []compiledOp
+
+	depth      int // full pipeline depth, framing NOPs included
+	numBlocks  int // entries in the per-block enable epoch array
+	frameBytes int
+	numMaps    int
+
+	// [stackLo, stackHi) is the union of stack bytes any packet can
+	// write: every other stack byte stays zero forever, so the
+	// per-packet reset only clears this span. A store whose target is
+	// not statically known widens it to the whole frame.
+	stackLo, stackHi int
+}
+
+// Pipeline returns the design the program was compiled from.
+func (p *Prog) Pipeline() *core.Pipeline { return p.pl }
+
+// Depth returns the pipeline depth the timing skeleton models.
+func (p *Prog) Depth() int { return p.depth }
+
+// Compile specializes a design into per-stage closure chains. Every op
+// constant — immediates, static addresses, map identifiers, stack slots
+// of helper arguments, successor block bits — is folded at compile time
+// so the per-packet path only moves data.
+func Compile(pl *core.Pipeline) (*Prog, error) {
+	if len(pl.Stages) == 0 {
+		return nil, fmt.Errorf("fastpath: empty pipeline")
+	}
+	p := &Prog{
+		pl:         pl,
+		depth:      len(pl.Stages),
+		numBlocks:  len(pl.Blocks) + 1,
+		frameBytes: pl.Options.FrameBytes,
+		numMaps:    len(pl.Transformed.Maps),
+	}
+	if p.frameBytes <= 0 {
+		p.frameBytes = 64
+	}
+	p.stackLo, p.stackHi = stackWriteExtent(pl)
+	for t := range pl.Stages {
+		stage := &pl.Stages[t]
+		if stage.Kind != core.StageNormal || len(stage.Ops) == 0 {
+			continue
+		}
+		for i := range stage.Ops {
+			op := &stage.Ops[i]
+			co, err := compileOp(pl, op)
+			if err != nil {
+				return nil, fmt.Errorf("fastpath: stage %d (%s): %w", t, op.Ins, err)
+			}
+			co.blockID = op.BlockID
+			co.stage = int32(t)
+			p.ops = append(p.ops, co)
+		}
+	}
+	// A disabled block is skipped in one hop: each op records the index
+	// just past its contiguous same-block run. Nothing executes inside
+	// such a run, so a block observed disabled at its head cannot become
+	// enabled before the run ends.
+	for i := len(p.ops) - 1; i >= 0; i-- {
+		if i+1 < len(p.ops) && p.ops[i+1].blockID == p.ops[i].blockID {
+			p.ops[i].skip = p.ops[i+1].skip
+		} else {
+			p.ops[i].skip = i + 1
+		}
+	}
+	return p, nil
+}
+
+// stackWriteExtent statically bounds the stack bytes the pipeline can
+// write. Stores and atomics with an elided static base either hit a
+// known stack slot (extending the extent) or a non-stack area (no
+// stack effect); a register-relative store could land anywhere, so it
+// widens the extent to the full frame. Helpers and map calls read the
+// stack but never write it.
+func stackWriteExtent(pl *core.Pipeline) (lo, hi int) {
+	lo, hi = ebpf.StackSize, 0
+	extend := func(a, b int) {
+		if a < lo {
+			lo = a
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	for t := range pl.Stages {
+		for i := range pl.Stages[t].Ops {
+			op := &pl.Stages[t].Ops[i]
+			if op.Kind != core.OpStore && op.Kind != core.OpAtomic {
+				continue
+			}
+			if op.BaseElided && op.Access != nil {
+				if op.Access.Area == ddg.AreaStack {
+					slot := ebpf.StackSize + int(op.Access.Off)
+					extend(slot, slot+op.Ins.MemSize().Bytes())
+				}
+				continue
+			}
+			return 0, ebpf.StackSize
+		}
+	}
+	if hi < lo {
+		lo, hi = 0, 0
+	}
+	return lo, hi
+}
+
+// fallBlock resolves the fallthrough successor a non-branch op enables
+// when it ends its block (-1 when none fires).
+func fallBlock(op *core.Op) int {
+	if op.EndsBlock && op.Kind != core.OpBranch && op.Kind != core.OpExit && op.FallBlock >= 0 {
+		return op.FallBlock
+	}
+	return -1
+}
+
+// compileOp specializes one micro-operation. The semantics replicate
+// hwsim's execOp exactly, minus the hazard, fault and protection
+// machinery the fast path is never eligible to run with. Register-only
+// ops come back in the direct alu/pred fields; everything else as a
+// run closure.
+func compileOp(pl *core.Pipeline, op *core.Op) (compiledOp, error) {
+	fall := fallBlock(op)
+	co := compiledOp{fall: fall, taken: -1, notTaken: -1}
+	run, err := compileRun(pl, op, fall, &co)
+	if err != nil {
+		return compiledOp{}, err
+	}
+	co.run = run
+	return co, nil
+}
+
+func compileRun(pl *core.Pipeline, op *core.Op, fall int, co *compiledOp) (func(m *Machine) error, error) {
+	switch op.Kind {
+	case core.OpALU:
+		fn, err := aluFn(op.Ins)
+		if err != nil {
+			return nil, err
+		}
+		if len(op.Fused) == 0 {
+			co.alu = fn
+			return nil, nil
+		}
+		// The fused tail is specialized too: the whole op chain becomes a
+		// straight run of direct closures.
+		fused := make([]func(st *vm.State), 0, len(op.Fused))
+		for _, f := range op.Fused {
+			ffn, err := aluFn(f)
+			if err != nil {
+				return nil, err
+			}
+			fused = append(fused, ffn)
+		}
+		co.alu = func(st *vm.State) {
+			fn(st)
+			for _, f := range fused {
+				f(st)
+			}
+		}
+		return nil, nil
+
+	case core.OpLDDW:
+		// The constant (or map pointer) is folded here, at compile time.
+		v := uint64(op.Ins.Imm64)
+		if op.MapID >= 0 {
+			v = vm.MapPointer(op.MapID)
+		}
+		dst := op.Ins.Dst
+		co.alu = func(st *vm.State) { st.Regs[dst] = v }
+		return nil, nil
+
+	case core.OpLoad:
+		if fn := specializeLoad(pl, op, fall); fn != nil {
+			return fn, nil
+		}
+		addrFn, err := compileAddr(op)
+		if err != nil {
+			return nil, err
+		}
+		ins := op.Ins
+		size := ins.MemSize().Bytes()
+		dst := ins.Dst
+		isPacket := op.Access != nil && op.Access.Area == ddg.AreaPacket
+		return func(m *Machine) error {
+			addr, err := addrFn(m)
+			if err != nil {
+				return err
+			}
+			v, err := m.mem.LoadAt(&m.st, addr, size)
+			if err != nil {
+				if isPacket {
+					m.fault()
+					return nil
+				}
+				return err
+			}
+			m.st.Regs[dst] = v
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}, nil
+
+	case core.OpStore, core.OpAtomic:
+		if fn := specializeStore(pl, op, fall); fn != nil {
+			return fn, nil
+		}
+		if fn := specializeAtomic(pl, op, fall); fn != nil {
+			return fn, nil
+		}
+		addrFn, err := compileAddr(op)
+		if err != nil {
+			return nil, err
+		}
+		ins := op.Ins
+		isPacket := op.Access != nil && op.Access.Area == ddg.AreaPacket
+		return func(m *Machine) error {
+			addr, err := addrFn(m)
+			if err != nil {
+				return err
+			}
+			if err := m.mem.StoreAt(&m.st, ins, addr); err != nil {
+				if isPacket {
+					m.fault()
+					return nil
+				}
+				return err
+			}
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}, nil
+
+	case core.OpBranch:
+		pred, err := branchFn(op.Ins)
+		if err != nil {
+			return nil, err
+		}
+		co.pred = pred
+		co.taken, co.notTaken = op.TakenBlock, op.FallBlock
+		return nil, nil
+
+	case core.OpExit:
+		return func(m *Machine) error {
+			m.done = true
+			m.action = ebpf.XDPAction(uint32(m.st.Regs[ebpf.R0]))
+			return nil
+		}, nil
+
+	case core.OpMapCall:
+		return compileMapCall(pl, op, fall)
+
+	case core.OpHelper:
+		if op.Helper.CPUOnly() {
+			// Stubbed as a constant block, like the interpreter.
+			return func(m *Machine) error {
+				for r := ebpf.R0; r <= ebpf.R5; r++ {
+					m.st.Regs[r] = 0
+				}
+				if fall >= 0 {
+					m.enable(fall)
+				}
+				return nil
+			}, nil
+		}
+		h := op.Helper
+		return func(m *Machine) error {
+			redirect, err := m.exec.CallHelper(&m.st, h)
+			if err != nil {
+				return err
+			}
+			if redirect != 0 {
+				m.redirect = redirect
+			}
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown op kind %v", op.Kind)
+}
+
+// compileAddr specializes an op's address computation: statically wired
+// for elided bases (folded to a constant where possible), register-
+// relative otherwise. Mirrors hwsim's addrOf.
+func compileAddr(op *core.Op) (func(m *Machine) (uint64, error), error) {
+	ins := op.Ins
+	if !op.BaseElided || op.Access == nil {
+		base := ins.Src
+		if cls := ins.Class(); cls == ebpf.ClassST || cls == ebpf.ClassSTX {
+			base = ins.Dst
+		}
+		off := uint64(int64(ins.Off))
+		return func(m *Machine) (uint64, error) {
+			return m.st.Regs[base] + off, nil
+		}, nil
+	}
+	acc := op.Access
+	off := uint64(acc.Off)
+	switch acc.Area {
+	case ddg.AreaStack:
+		addr := vm.StackTopAddr + off
+		return func(*Machine) (uint64, error) { return addr, nil }, nil
+	case ddg.AreaPacket:
+		return func(m *Machine) (uint64, error) {
+			return vm.PacketBase + uint64(m.st.Pkt.HeadIndex()) + off, nil
+		}, nil
+	case ddg.AreaCtx:
+		addr := vm.CtxBase + off
+		return func(*Machine) (uint64, error) { return addr, nil }, nil
+	case ddg.AreaMap:
+		id := op.MapID
+		return func(m *Machine) (uint64, error) {
+			base := m.lookupAddr[id]
+			if base == 0 {
+				return 0, errNoLookup
+			}
+			return base + off, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unresolvable access area %v", acc.Area)
+}
+
+// compileMapCall specializes a map helper: the key (and value) come
+// from their static stack slots as aliasing slices — no copy — or
+// through the argument registers; the handle registration reuses the
+// interpreter's address table so R0 is bit-identical to hwsim's.
+func compileMapCall(pl *core.Pipeline, op *core.Op, fall int) (func(m *Machine) error, error) {
+	if op.MapID < 0 || op.MapID >= len(pl.Transformed.Maps) {
+		return nil, fmt.Errorf("map call references undeclared map %d", op.MapID)
+	}
+	spec := pl.Transformed.Maps[op.MapID]
+	id := op.MapID
+	name := spec.Name
+
+	keyFn, err := compileHelperArg(op.KeyOffKnown, op.KeyStackOff, ebpf.R2, spec.KeySize)
+	if err != nil {
+		return nil, fmt.Errorf("map %q key: %w", name, err)
+	}
+
+	switch op.Helper {
+	case ebpf.HelperMapLookupElem:
+		if op.KeyOffKnown {
+			// The key sits in a static stack slot: the fetch is an
+			// aliasing slice with compile-time bounds, no closure call
+			// and no error path on the per-packet lookup.
+			lo := int(op.KeyStackOff) + ebpf.StackSize
+			ks := spec.KeySize
+			if lo < 0 || lo+ks > ebpf.StackSize {
+				return nil, fmt.Errorf("map %q key: static stack slot [%d,%d) out of frame",
+					name, op.KeyStackOff, op.KeyStackOff+int64(ks))
+			}
+			return func(m *Machine) error {
+				key := m.st.Stack[lo : lo+ks : lo+ks]
+				var addr uint64
+				var val []byte
+				if v, ok := m.mapsByID[id].Lookup(key); ok {
+					addr = m.valueAddr(id, key, v)
+					val = v
+				}
+				m.lookupAddr[id] = addr
+				m.lookupVal[id] = val
+				m.st.Regs[ebpf.R0] = addr
+				m.scratchArgs()
+				if fall >= 0 {
+					m.enable(fall)
+				}
+				return nil
+			}, nil
+		}
+		return func(m *Machine) error {
+			key, err := keyFn(m)
+			if err != nil {
+				return fmt.Errorf("map %q key: %w", name, err)
+			}
+			var addr uint64
+			var val []byte
+			if v, ok := m.mapsByID[id].Lookup(key); ok {
+				addr = m.valueAddr(id, key, v)
+				val = v
+			}
+			m.lookupAddr[id] = addr
+			m.lookupVal[id] = val
+			m.st.Regs[ebpf.R0] = addr
+			m.scratchArgs()
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}, nil
+
+	case ebpf.HelperMapUpdateElem:
+		valFn, err := compileHelperArg(op.ValOffKnown, op.ValStackOff, ebpf.R3, spec.ValueSize)
+		if err != nil {
+			return nil, fmt.Errorf("map %q value: %w", name, err)
+		}
+		return func(m *Machine) error {
+			key, err := keyFn(m)
+			if err != nil {
+				return fmt.Errorf("map %q key: %w", name, err)
+			}
+			val, err := valFn(m)
+			if err != nil {
+				return fmt.Errorf("map %q value: %w", name, err)
+			}
+			flags := maps.UpdateFlag(m.st.Regs[ebpf.R4])
+			var r0 uint64
+			if err := m.mapsByID[id].Update(key, val, flags); err != nil {
+				r0 = ^uint64(0)
+			}
+			m.st.Regs[ebpf.R0] = r0
+			m.scratchArgs()
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}, nil
+
+	case ebpf.HelperMapDeleteElem:
+		return func(m *Machine) error {
+			key, err := keyFn(m)
+			if err != nil {
+				return fmt.Errorf("map %q key: %w", name, err)
+			}
+			var r0 uint64
+			if err := m.mapsByID[id].Delete(key); err != nil {
+				r0 = ^uint64(0)
+			}
+			m.st.Regs[ebpf.R0] = r0
+			m.scratchArgs()
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unsupported map helper %s", op.Helper.Name())
+}
+
+// compileHelperArg builds the fetch of a helper pointer argument. The
+// static-slot case is validated here and becomes a bounds-check-free
+// aliasing slice of the stack frame; maps copy what they retain, so the
+// alias never escapes a call.
+func compileHelperArg(known bool, off int64, reg ebpf.Register, size int) (func(m *Machine) ([]byte, error), error) {
+	if known {
+		lo := int(off) + ebpf.StackSize
+		if lo < 0 || lo+size > ebpf.StackSize {
+			return nil, fmt.Errorf("static stack slot [%d,%d) out of frame", off, off+int64(size))
+		}
+		return func(m *Machine) ([]byte, error) {
+			return m.st.Stack[lo : lo+size : lo+size], nil
+		}, nil
+	}
+	return func(m *Machine) ([]byte, error) {
+		return m.bytesAt(m.st.Regs[reg], size)
+	}, nil
+}

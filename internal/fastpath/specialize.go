@@ -1,0 +1,440 @@
+package fastpath
+
+import (
+	"math/bits"
+
+	"ehdl/internal/core"
+	"ehdl/internal/ddg"
+	"ehdl/internal/ebpf"
+	"ehdl/internal/vm"
+)
+
+// aluFn specializes one ALU instruction into an error-free closure:
+// the operand routing (register vs folded immediate), the operation
+// and the width truncation are all decided here, so the per-packet
+// path is a single direct call with no instruction decoding. The
+// instruction is validated against vm.EvalALU at compile time; the
+// un-specialized tail delegates to it with the source already routed,
+// which keeps every op bit-identical to the interpreter by
+// construction.
+func aluFn(ins ebpf.Instruction) (func(st *vm.State), error) {
+	if _, err := vm.EvalALU(ins, 0, 1); err != nil {
+		return nil, err
+	}
+	is64 := ins.Class() == ebpf.ClassALU64
+	op := ins.ALUOp()
+	dst := ins.Dst
+	src := ins.Src
+	imm := uint64(int64(ins.Imm))
+	fromReg := ins.Source() == ebpf.SourceX
+
+	if op == ebpf.ALUEnd {
+		// Byte-order conversion: width and direction folded. The host
+		// model is little-endian, so to-LE is a pure truncation.
+		toBE := ins.Source() == ebpf.SourceX
+		switch {
+		case ins.Imm == 16 && toBE:
+			return func(st *vm.State) { st.Regs[dst] = uint64(bits.ReverseBytes16(uint16(st.Regs[dst]))) }, nil
+		case ins.Imm == 16:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint16(st.Regs[dst])) }, nil
+		case ins.Imm == 32 && toBE:
+			return func(st *vm.State) { st.Regs[dst] = uint64(bits.ReverseBytes32(uint32(st.Regs[dst]))) }, nil
+		case ins.Imm == 32:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst])) }, nil
+		case ins.Imm == 64 && toBE:
+			return func(st *vm.State) { st.Regs[dst] = bits.ReverseBytes64(st.Regs[dst]) }, nil
+		}
+	} else {
+		switch {
+		case op == ebpf.ALUMov && is64 && !fromReg:
+			return func(st *vm.State) { st.Regs[dst] = imm }, nil
+		case op == ebpf.ALUMov && is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] = st.Regs[src] }, nil
+		case op == ebpf.ALUMov && !is64 && !fromReg:
+			v := uint64(uint32(imm))
+			return func(st *vm.State) { st.Regs[dst] = v }, nil
+		case op == ebpf.ALUMov && !is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[src])) }, nil
+		case op == ebpf.ALUAdd && is64 && !fromReg:
+			return func(st *vm.State) { st.Regs[dst] += imm }, nil
+		case op == ebpf.ALUAdd && is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] += st.Regs[src] }, nil
+		case op == ebpf.ALUAdd && !is64 && !fromReg:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst]) + uint32(imm)) }, nil
+		case op == ebpf.ALUAdd && !is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst]) + uint32(st.Regs[src])) }, nil
+		case op == ebpf.ALUSub && is64 && !fromReg:
+			return func(st *vm.State) { st.Regs[dst] -= imm }, nil
+		case op == ebpf.ALUSub && is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] -= st.Regs[src] }, nil
+		case op == ebpf.ALUSub && !is64 && !fromReg:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst]) - uint32(imm)) }, nil
+		case op == ebpf.ALUSub && !is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst]) - uint32(st.Regs[src])) }, nil
+		case op == ebpf.ALUAnd && is64 && !fromReg:
+			return func(st *vm.State) { st.Regs[dst] &= imm }, nil
+		case op == ebpf.ALUAnd && is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] &= st.Regs[src] }, nil
+		case op == ebpf.ALUAnd && !is64 && !fromReg:
+			v := uint64(uint32(imm))
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst])) & v }, nil
+		case op == ebpf.ALUAnd && !is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst]) & uint32(st.Regs[src])) }, nil
+		case op == ebpf.ALUOr && is64 && !fromReg:
+			return func(st *vm.State) { st.Regs[dst] |= imm }, nil
+		case op == ebpf.ALUOr && is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] |= st.Regs[src] }, nil
+		case op == ebpf.ALUOr && !is64 && !fromReg:
+			v := uint64(uint32(imm))
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst])) | v }, nil
+		case op == ebpf.ALUOr && !is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] = uint64(uint32(st.Regs[dst]) | uint32(st.Regs[src])) }, nil
+		case op == ebpf.ALUXor && is64 && !fromReg:
+			return func(st *vm.State) { st.Regs[dst] ^= imm }, nil
+		case op == ebpf.ALUXor && is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] ^= st.Regs[src] }, nil
+		case op == ebpf.ALULsh && is64 && !fromReg:
+			sh := imm & 63
+			return func(st *vm.State) { st.Regs[dst] <<= sh }, nil
+		case op == ebpf.ALULsh && is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] <<= st.Regs[src] & 63 }, nil
+		case op == ebpf.ALURsh && is64 && !fromReg:
+			sh := imm & 63
+			return func(st *vm.State) { st.Regs[dst] >>= sh }, nil
+		case op == ebpf.ALURsh && is64 && fromReg:
+			return func(st *vm.State) { st.Regs[dst] >>= st.Regs[src] & 63 }, nil
+		case op == ebpf.ALUArsh && is64 && !fromReg:
+			sh := imm & 63
+			return func(st *vm.State) { st.Regs[dst] = uint64(int64(st.Regs[dst]) >> sh) }, nil
+		case op == ebpf.ALUNeg && is64:
+			return func(st *vm.State) { st.Regs[dst] = -st.Regs[dst] }, nil
+		}
+	}
+	if fromReg {
+		return func(st *vm.State) {
+			out, _ := vm.EvalALU(ins, st.Regs[dst], st.Regs[src])
+			st.Regs[dst] = out
+		}, nil
+	}
+	return func(st *vm.State) {
+		out, _ := vm.EvalALU(ins, st.Regs[dst], imm)
+		st.Regs[dst] = out
+	}, nil
+}
+
+// specializeLoad compiles a statically addressed load into a direct
+// memory access, skipping the virtual-address round trip through
+// MemSpace.Resolve. Only cases whose semantics provably match the
+// generic path are specialized — anything else (register-relative
+// base, out-of-frame static slot, odd xdp_md field, huge offset)
+// returns nil and keeps the generic closure with its exact runtime
+// error behaviour.
+func specializeLoad(pl *core.Pipeline, op *core.Op, fall int) func(m *Machine) error {
+	if !op.BaseElided || op.Access == nil {
+		return nil
+	}
+	ins := op.Ins
+	size := ins.MemSize().Bytes()
+	dst := ins.Dst
+	// Stack offsets are frame-relative and negative; the other areas
+	// index forward from their base, so a negative or absurd offset
+	// keeps the generic path and its runtime error.
+	off := int(op.Access.Off)
+	if op.Access.Area != ddg.AreaStack && (off < 0 || off > 1<<20) {
+		return nil
+	}
+	switch op.Access.Area {
+	case ddg.AreaMap:
+		// A value load through the preceding lookup's cached slice: the
+		// offset is static and the map's value size bounds it at compile
+		// time, so the virtual-address round trip through Resolve is
+		// unnecessary. A missed (or absent) lookup errors like the
+		// generic path.
+		id := op.MapID
+		if id < 0 || id >= len(pl.Transformed.Maps) ||
+			off+size > pl.Transformed.Maps[id].ValueSize {
+			return nil
+		}
+		return func(m *Machine) error {
+			val := m.lookupVal[id]
+			if val == nil {
+				return errNoLookup
+			}
+			m.st.Regs[dst] = vm.ReadUint(val[off:], size)
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}
+	case ddg.AreaStack:
+		lo := ebpf.StackSize + int(op.Access.Off)
+		if lo < 0 || lo+size > ebpf.StackSize {
+			return nil
+		}
+		return func(m *Machine) error {
+			m.st.Regs[dst] = vm.ReadUint(m.st.Stack[lo:], size)
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}
+	case ddg.AreaPacket:
+		// The hardware bounds check: an access past the data end latches
+		// the OOB verdict, exactly like the generic path's fault on a
+		// Resolve error (off is data-relative and non-negative, so the
+		// below-head case cannot arise).
+		return func(m *Machine) error {
+			b := m.st.Pkt.Bytes()
+			if off+size > len(b) {
+				m.fault()
+				return nil
+			}
+			m.st.Regs[dst] = vm.ReadUint(b[off:], size)
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}
+	case ddg.AreaCtx:
+		if size != 4 {
+			return nil
+		}
+		switch off {
+		case ebpf.XDPMDData, ebpf.XDPMDDataMeta:
+			return func(m *Machine) error {
+				m.st.Regs[dst] = vm.PacketBase + uint64(m.st.Pkt.HeadIndex())
+				if fall >= 0 {
+					m.enable(fall)
+				}
+				return nil
+			}
+		case ebpf.XDPMDDataEnd:
+			return func(m *Machine) error {
+				pkt := m.st.Pkt
+				m.st.Regs[dst] = vm.PacketBase + uint64(pkt.HeadIndex()+pkt.Len())
+				if fall >= 0 {
+					m.enable(fall)
+				}
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// specializeStore is specializeLoad's store-side twin. Atomics and
+// xdp_md stores keep the generic path (the former for execAtomic's
+// fetch/xchg register effects, the latter for its permission error).
+func specializeStore(pl *core.Pipeline, op *core.Op, fall int) func(m *Machine) error {
+	if !op.BaseElided || op.Access == nil || op.Ins.IsAtomic() {
+		return nil
+	}
+	ins := op.Ins
+	size := ins.MemSize().Bytes()
+	off := int(op.Access.Off)
+	if op.Access.Area != ddg.AreaStack && (off < 0 || off > 1<<20) {
+		return nil
+	}
+	fromImm := ins.Class() == ebpf.ClassST
+	imm := uint64(int64(ins.Imm))
+	src := ins.Src
+	switch op.Access.Area {
+	case ddg.AreaMap:
+		id := op.MapID
+		if id < 0 || id >= len(pl.Transformed.Maps) ||
+			off+size > pl.Transformed.Maps[id].ValueSize {
+			return nil
+		}
+		return func(m *Machine) error {
+			val := m.lookupVal[id]
+			if val == nil {
+				return errNoLookup
+			}
+			v := imm
+			if !fromImm {
+				v = m.st.Regs[src]
+			}
+			vm.WriteUint(val[off:], size, v)
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}
+	case ddg.AreaStack:
+		lo := ebpf.StackSize + int(op.Access.Off)
+		if lo < 0 || lo+size > ebpf.StackSize {
+			return nil
+		}
+		if fromImm {
+			return func(m *Machine) error {
+				vm.WriteUint(m.st.Stack[lo:], size, imm)
+				if fall >= 0 {
+					m.enable(fall)
+				}
+				return nil
+			}
+		}
+		return func(m *Machine) error {
+			vm.WriteUint(m.st.Stack[lo:], size, m.st.Regs[src])
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}
+	case ddg.AreaPacket:
+		return func(m *Machine) error {
+			b := m.st.Pkt.Bytes()
+			if off+size > len(b) {
+				m.fault()
+				return nil
+			}
+			v := imm
+			if !fromImm {
+				v = m.st.Regs[src]
+			}
+			vm.WriteUint(b[off:], size, v)
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// specializeAtomic compiles the hot non-fetch atomic forms (the
+// per-flow counter update every stateful app leans on) against the
+// value slice cached by the preceding lookup: the op kind, access
+// width and operand register are folded and the map's declared value
+// size bounds the offset at compile time, so the read-modify-write
+// touches the bytes directly. Fetch/exchange variants and non-map
+// areas keep the generic path for execAtomic's register effects.
+func specializeAtomic(pl *core.Pipeline, op *core.Op, fall int) func(m *Machine) error {
+	if !op.BaseElided || op.Access == nil || op.Access.Area != ddg.AreaMap {
+		return nil
+	}
+	ins := op.Ins
+	if !ins.IsAtomic() || ins.AtomicOp()&ebpf.AtomicFetch != 0 {
+		return nil
+	}
+	aop := ins.AtomicOp()
+	switch aop {
+	case ebpf.AtomicAdd, ebpf.AtomicOr, ebpf.AtomicAnd, ebpf.AtomicXor:
+	default:
+		return nil
+	}
+	size := ins.MemSize().Bytes()
+	id := op.MapID
+	off := int(op.Access.Off)
+	src := ins.Src
+	if id < 0 || id >= len(pl.Transformed.Maps) ||
+		off < 0 || off+size > pl.Transformed.Maps[id].ValueSize {
+		return nil
+	}
+	// The 8-byte add — the canonical per-flow counter — gets a direct
+	// unencoded read-modify-write; the rest share a width-generic form.
+	if aop == ebpf.AtomicAdd && size == 8 {
+		return func(m *Machine) error {
+			val := m.lookupVal[id]
+			if val == nil {
+				return errNoLookup
+			}
+			b := val[off:]
+			vm.WriteUint(b, 8, vm.ReadUint(b, 8)+m.st.Regs[src])
+			if fall >= 0 {
+				m.enable(fall)
+			}
+			return nil
+		}
+	}
+	return func(m *Machine) error {
+		val := m.lookupVal[id]
+		if val == nil {
+			return errNoLookup
+		}
+		b := val[off:]
+		old := vm.ReadUint(b, size)
+		s := m.st.Regs[src]
+		var upd uint64
+		switch aop {
+		case ebpf.AtomicAdd:
+			upd = old + s
+		case ebpf.AtomicOr:
+			upd = old | s
+		case ebpf.AtomicAnd:
+			upd = old & s
+		case ebpf.AtomicXor:
+			upd = old ^ s
+		}
+		vm.WriteUint(b, size, upd)
+		if fall >= 0 {
+			m.enable(fall)
+		}
+		return nil
+	}
+}
+
+// branchFn specializes one conditional branch into an error-free
+// predicate closure, with the comparison op, operand routing and width
+// folded at compile time. Validated against vm.Compare; the generic
+// tail delegates to it, bit-identical to vm.EvalBranch.
+func branchFn(ins ebpf.Instruction) (func(st *vm.State) bool, error) {
+	is32 := ins.Class() == ebpf.ClassJMP32
+	jop := ins.JumpOp()
+	if _, err := vm.Compare(jop, 0, 0, is32); err != nil {
+		return nil, err
+	}
+	dst := ins.Dst
+	src := ins.Src
+	imm := uint64(int64(ins.Imm))
+	fromReg := ins.Source() == ebpf.SourceX
+
+	if !is32 {
+		switch {
+		case jop == ebpf.JumpEq && !fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] == imm }, nil
+		case jop == ebpf.JumpEq && fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] == st.Regs[src] }, nil
+		case jop == ebpf.JumpNE && !fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] != imm }, nil
+		case jop == ebpf.JumpNE && fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] != st.Regs[src] }, nil
+		case jop == ebpf.JumpGT && !fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] > imm }, nil
+		case jop == ebpf.JumpGE && !fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] >= imm }, nil
+		case jop == ebpf.JumpLT && !fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] < imm }, nil
+		case jop == ebpf.JumpLE && !fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] <= imm }, nil
+		case jop == ebpf.JumpSGT && !fromReg:
+			rhs := int64(ins.Imm)
+			return func(st *vm.State) bool { return int64(st.Regs[dst]) > rhs }, nil
+		case jop == ebpf.JumpSLT && !fromReg:
+			rhs := int64(ins.Imm)
+			return func(st *vm.State) bool { return int64(st.Regs[dst]) < rhs }, nil
+		case jop == ebpf.JumpSet && !fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst]&imm != 0 }, nil
+		case jop == ebpf.JumpGT && fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] > st.Regs[src] }, nil
+		case jop == ebpf.JumpLT && fromReg:
+			return func(st *vm.State) bool { return st.Regs[dst] < st.Regs[src] }, nil
+		}
+	}
+	rhsOf := func(st *vm.State) uint64 {
+		if fromReg {
+			return st.Regs[src]
+		}
+		return imm
+	}
+	return func(st *vm.State) bool {
+		lhs := st.Regs[dst]
+		rhs := rhsOf(st)
+		if is32 {
+			lhs = uint64(uint32(lhs))
+			rhs = uint64(uint32(rhs))
+		}
+		ok, _ := vm.Compare(jop, lhs, rhs, is32)
+		return ok
+	}, nil
+}

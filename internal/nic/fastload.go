@@ -1,0 +1,86 @@
+package nic
+
+import (
+	"context"
+
+	"ehdl/internal/obs"
+)
+
+// runLoadFast is RunLoad on the compiled single-queue engine. It only
+// runs for configurations the fast path is eligible for — no fault
+// campaign, no protection, no watchdog, no stall policy, no tracing or
+// metrics, and no armed live update — so the interpreter loop's hooks
+// for those features have nothing to do and are elided. Everything
+// that remains mirrors RunLoad bit for bit: the pacing ledger (the
+// float `due` accumulator and the per-cycle decrement), the byte
+// accounting, the per-completion latency summation in retirement order
+// and the closing rate arithmetic, so a report differs from the
+// interpreter's only where the timing model itself does (the fast path
+// executes the hazard-free pipeline skeleton: Flushes is always zero
+// and stall time is not modelled — the matrix in DESIGN.md).
+func (sh *Shell) runLoadFast(next func() []byte, count int, offeredPps float64) (Report, error) {
+	ctx, endTask := obs.Task(context.Background(), "nic.RunLoadFast")
+	defer endTask()
+	clock := sh.cfg.clockHz()
+	cyclesPerPacket := clock / offeredPps
+
+	var (
+		rep       Report
+		sent      int
+		due       float64
+		bytesIn   uint64
+		bytesOut  uint64
+		startStat = sh.fast.Stats()
+	)
+
+	endRegion := obs.Region(ctx, "drive")
+	for sent < count || sh.fast.Busy() {
+		// Arrivals faster than the clock queue several packets per cycle.
+		for sent < count && due <= 0 {
+			pkt := next()
+			bytesIn += uint64(len(pkt))
+			if sh.fast.Inject(pkt) {
+				bytesOut += uint64(len(pkt))
+			}
+			sent++
+			due += cyclesPerPacket
+		}
+		if err := sh.fast.Step(); err != nil {
+			endRegion()
+			return rep, err
+		}
+		due--
+	}
+	endRegion()
+
+	// The whole completion ledger comes out of the engine's counters at
+	// the end — the fast path registers no per-packet callback, that
+	// indirection costs real throughput at compiled-path budgets. The
+	// latency figures fold the host FIFO in closed form; the per-packet
+	// float summation the interpreter does would agree to rounding (its
+	// latency model diverges from the skeleton's anyway, see DESIGN.md).
+	end := sh.fast.Stats().Delta(startStat)
+	rep.Cycles = end.Cycles
+	rep.Sent = uint64(sent)
+	rep.Received = end.Completed
+	rep.Actions = end.Actions
+	rep.Lost = end.QueueDrops
+	rep.Flushes = end.Flushes
+	rep.MalformedDropped = end.MalformedDropped
+	rep.QueueOverflows = end.QueueOverflows
+	seconds := float64(rep.Cycles) / clock
+	if seconds > 0 {
+		rep.AchievedMpps = float64(rep.Received) / seconds / 1e6
+		rep.AchievedGbps = float64(bytesOut+20*rep.Received) * 8 / seconds / 1e9
+		rep.FlushesPerS = float64(rep.Flushes) / seconds
+	}
+	rep.QueueCount = 1
+	rep.OfferedMpps = offeredPps / 1e6
+	rep.OfferedGbps = float64(bytesIn+20*rep.Sent) * 8 / (float64(sent) * cyclesPerPacket / clock) / 1e9
+	if rep.Received > 0 {
+		fifo := float64(sh.cfg.fifoCycles())
+		rep.AvgLatencyNs = (float64(end.LatencySum)/float64(rep.Received) + fifo) / clock * 1e9
+		rep.MaxLatencyNs = (float64(end.LatencyMax) + fifo) / clock * 1e9
+	}
+	return rep, nil
+}

@@ -265,9 +265,10 @@ func (sh *Shell) swapEngine(rep *Report, agg *multiAgg, ucfg liveupdate.Config, 
 		return rollback(liveupdate.StageShadow, cerr)
 	}
 	eng, cerr := rss.NewEngine(newPl, rss.Config{
-		Queues: sh.cfg.Queues,
-		Batch:  sh.cfg.Batch,
-		Sim:    sh.cfg.Sim,
+		Queues:   sh.cfg.Queues,
+		Batch:    sh.cfg.Batch,
+		Sim:      sh.cfg.Sim,
+		FastPath: sh.cfg.FastPath,
 	})
 	if cerr != nil {
 		return rollback(liveupdate.StageShadow, cerr)

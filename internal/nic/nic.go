@@ -11,12 +11,14 @@ import (
 
 	"ehdl/internal/core"
 	"ehdl/internal/ebpf"
+	"ehdl/internal/fastpath"
 	"ehdl/internal/faults"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/liveupdate"
 	"ehdl/internal/maps"
 	"ehdl/internal/obs"
 	"ehdl/internal/rss"
+	"ehdl/internal/vm"
 )
 
 // ShellConfig parameterises the shell.
@@ -44,6 +46,15 @@ type ShellConfig struct {
 	// Batch is the dispatcher/collector batch size in multi-queue mode
 	// (amortised channel operations). 0 means rss.DefaultBatch.
 	Batch int
+	// FastPath requests the compiled host fast path: the design is
+	// compiled once into a per-stage closure chain and packets execute
+	// allocation-free, with the cycle-accurate interpreter retained as
+	// the conformance oracle. The request falls back to the interpreter
+	// silently when the configuration needs it (faults, protection,
+	// watchdog, stall policy, tracing, metrics — the matrix in
+	// DESIGN.md) and for the single-queue leg of a scheduled live
+	// update; Shell.FastPath reports what actually serves.
+	FastPath bool
 	// Hazard policy and other simulator knobs.
 	Sim hwsim.Config
 }
@@ -82,6 +93,12 @@ type Shell struct {
 	pl  *core.Pipeline
 	inj *faults.Injector
 
+	// fast is the compiled single-queue engine (nil when not requested,
+	// ineligible, or retired by a live-update swap). It shares the
+	// interpreter's map environment, so host setup and state are common
+	// to both engines and a fallback run continues seamlessly.
+	fast *fastpath.Machine
+
 	// engine is the multi-queue RSS scale-out (nil when Queues <= 1).
 	engine *rss.Engine
 
@@ -113,9 +130,10 @@ func New(pl *core.Pipeline, cfg ShellConfig) (*Shell, error) {
 		// The engine forks the injector per replica; the shell keeps the
 		// base stream for traffic damage and overflow bursts.
 		eng, err := rss.NewEngine(pl, rss.Config{
-			Queues: cfg.Queues,
-			Batch:  cfg.Batch,
-			Sim:    cfg.Sim,
+			Queues:   cfg.Queues,
+			Batch:    cfg.Batch,
+			Sim:      cfg.Sim,
+			FastPath: cfg.FastPath,
 		})
 		if err != nil {
 			return nil, err
@@ -125,9 +143,28 @@ func New(pl *core.Pipeline, cfg ShellConfig) (*Shell, error) {
 		}
 		return &Shell{cfg: cfg, pl: pl, inj: inj, engine: eng}, nil
 	}
-	sim, err := hwsim.New(pl, cfg.Sim)
-	if err != nil {
-		return nil, err
+	var fast *fastpath.Machine
+	var sim *hwsim.Sim
+	if ok, _ := fastpath.Eligible(cfg.Sim); cfg.FastPath && ok {
+		// Dual engine over one map environment: the compiled machine
+		// serves traffic, the interpreter stands by as the oracle and as
+		// the live-update fallback. Sharing the environment keeps host
+		// setup, map state and the helper clock common to both.
+		env, err := vm.NewEnv(pl.Transformed)
+		if err != nil {
+			return nil, err
+		}
+		if sim, err = hwsim.NewWithEnv(pl, cfg.Sim, env); err != nil {
+			return nil, err
+		}
+		if fast, err = fastpath.NewWithEnv(pl, cfg.Sim, env); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if sim, err = hwsim.New(pl, cfg.Sim); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Sim.Metrics != nil {
 		// With metrics armed the shell also counts the host-port map
@@ -135,22 +172,33 @@ func New(pl *core.Pipeline, cfg ShellConfig) (*Shell, error) {
 		// and host side meter the same objects.
 		maps.ObserveSet(sim.Maps(), cfg.Sim.Metrics)
 	}
-	sh := &Shell{cfg: cfg, sim: sim, pl: pl, inj: inj}
+	sh := &Shell{cfg: cfg, sim: sim, pl: pl, inj: inj, fast: fast}
 	// The shell owns the helper-visible clock so it stays continuous
 	// across a live-update pipeline swap. With no swap and no pin the
 	// value is identical to the simulator's built-in cycle clock.
 	sh.sim.SetClock(sh.nowNs)
+	if sh.fast != nil {
+		// Same clock function, same environment: whichever engine runs,
+		// time helpers see the shell's master clock.
+		sh.fast.SetClock(sh.nowNs)
+	}
 	return sh, nil
 }
 
 // nowNs is the shell's master nanosecond clock: the cycles retired
 // pipelines accumulated plus the serving pipeline's, scaled by the
-// shell clock. PinClock overrides it with a fixed value.
+// shell clock. Only one engine of a dual-engine shell runs at a time,
+// so elapsed time is the sum of both engines' cycle counts. PinClock
+// overrides it with a fixed value.
 func (sh *Shell) nowNs() uint64 {
 	if sh.pinned != nil {
 		return *sh.pinned
 	}
-	return uint64(float64(sh.cycleBase+sh.sim.Cycle()) / sh.cfg.clockHz() * 1e9)
+	cycles := sh.cycleBase + sh.sim.Cycle()
+	if sh.fast != nil {
+		cycles += sh.fast.Cycle()
+	}
+	return uint64(float64(cycles) / sh.cfg.clockHz() * 1e9)
 }
 
 // Maps exposes the host-side map interface of the NIC. In multi-queue
@@ -166,6 +214,21 @@ func (sh *Shell) Maps() *maps.Set {
 // Sim exposes the underlying simulator (for clock pinning in tests).
 // Nil in multi-queue mode — use Engine to reach the replicas.
 func (sh *Shell) Sim() *hwsim.Sim { return sh.sim }
+
+// Fast exposes the compiled single-queue engine (nil when the shell
+// serves from the interpreter or runs multi-queue).
+func (sh *Shell) Fast() *fastpath.Machine { return sh.fast }
+
+// FastPath reports whether traffic is served by the compiled fast
+// path. A requested fast path that fell back to the interpreter — an
+// ineligible configuration, or a single-queue live update — reports
+// false; on a multi-queue shell it reflects the replicas' mode.
+func (sh *Shell) FastPath() bool {
+	if sh.engine != nil {
+		return sh.engine.FastPath()
+	}
+	return sh.fast != nil && sh.pending == nil && sh.ctrl == nil
+}
 
 // Engine exposes the multi-queue RSS engine (nil with Queues <= 1).
 func (sh *Shell) Engine() *rss.Engine { return sh.engine }
@@ -355,6 +418,12 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 	if sh.engine != nil {
 		return sh.runLoadMulti(next, count, offeredPps)
 	}
+	if sh.fast != nil && sh.pending == nil && sh.ctrl == nil {
+		// The compiled engine serves whenever no live update is armed;
+		// an update run falls back to the interpreter below (shared map
+		// environment, so state carries over either way).
+		return sh.runLoadFast(next, count, offeredPps)
+	}
 	// Annotate the run for runtime/trace consumers (-runtime-trace on
 	// the CLIs); free when no execution trace is active.
 	ctx, endTask := obs.Task(context.Background(), "nic.RunLoad")
@@ -492,6 +561,13 @@ func (sh *Shell) RunLoad(next func() []byte, count int, offeredPps float64) (Rep
 				// ingress, and re-register the completion dispatcher.
 				acc = acc.Add(sh.sim.Stats().Delta(startStat))
 				sh.cycleBase += sh.sim.Cycle() - res.Switched.Cycle()
+				if sh.fast != nil {
+					// The compiled engine ran the old program; retire it and
+					// keep its cycles on the master clock. Later runs serve
+					// from the new interpreter pipeline.
+					sh.cycleBase += sh.fast.Cycle()
+					sh.fast = nil
+				}
 				sh.sim = res.Switched
 				sh.sim.OnComplete(dispatch)
 				startStat = sh.sim.Stats()

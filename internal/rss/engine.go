@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ehdl/internal/core"
+	"ehdl/internal/fastpath"
 	"ehdl/internal/hwsim"
 	"ehdl/internal/maps"
 	"ehdl/internal/obs"
@@ -28,6 +29,15 @@ type Config struct {
 	// the dispatcher's queue-steer events instead. Metrics is shared by
 	// all replicas (the registry is atomic).
 	Sim hwsim.Config
+	// FastPath requests compiled-closure replicas instead of the
+	// cycle-accurate interpreter. It is a request, not a demand: a
+	// configuration the fast path cannot serve (faults, protection,
+	// watchdog, stall policy, metrics — the fallback matrix in
+	// DESIGN.md) keeps the interpreter silently, and FastPath() on the
+	// engine reports what actually runs. Queue-steer tracing stays
+	// available either way: the tracer lives in the dispatcher, never in
+	// the replicas.
+	FastPath bool
 }
 
 func (c Config) queues() int {
@@ -86,10 +96,13 @@ type RunStats struct {
 	MaxCycles uint64
 }
 
-// replica is one pipeline copy and its worker-session state.
+// replica is one pipeline copy and its worker-session state. The
+// engine behind sim is either the cycle-accurate interpreter or a
+// compiled fast-path machine; the worker drives the shared Core
+// surface and never cares which.
 type replica struct {
 	idx int
-	sim *hwsim.Sim
+	sim hwsim.Core
 
 	// globalSeq maps the replica-local injection sequence of an
 	// in-flight packet to its global arrival index and frame length.
@@ -123,6 +136,7 @@ type Engine struct {
 	host    *maps.Set
 
 	replicas []*replica
+	fastpath bool
 	sealed   bool
 	running  bool
 
@@ -183,6 +197,24 @@ func NewEngine(pl *core.Pipeline, cfg Config) (*Engine, error) {
 	}
 	e.host = maps.SetOf(hostMaps...)
 
+	// Fast path: compile the closure chain once, bind it per replica.
+	// Eligibility is probed with the trace stripped — replicas never
+	// carry the tracer, so steered tracing does not force the
+	// interpreter — but a fault campaign, protection, watchdog, stall
+	// policy or a metrics registry does (the per-replica fallback
+	// matrix in DESIGN.md).
+	var fastProg *fastpath.Prog
+	if cfg.FastPath {
+		probe := cfg.Sim
+		probe.Trace = nil
+		if ok, _ := fastpath.Eligible(probe); ok {
+			if p, err := fastpath.Compile(pl); err == nil {
+				fastProg = p
+				e.fastpath = true
+			}
+		}
+	}
+
 	for q := 0; q < n; q++ {
 		simCfg := cfg.Sim
 		// The tracer is single-writer; replicas must not share it. The
@@ -195,13 +227,23 @@ func NewEngine(pl *core.Pipeline, cfg Config) (*Engine, error) {
 			simCfg.Faults = cfg.Sim.Faults.Fork(int64(100 + q))
 		}
 		env := &vm.Env{Maps: maps.SetOf(replicaMaps[q]...)}
-		sim, err := hwsim.NewWithEnv(pl, simCfg, env)
-		if err != nil {
-			return nil, err
+		var eng hwsim.Core
+		if fastProg != nil {
+			m, err := fastProg.NewMachine(simCfg, env)
+			if err != nil {
+				return nil, err
+			}
+			eng = m
+		} else {
+			sim, err := hwsim.NewWithEnv(pl, simCfg, env)
+			if err != nil {
+				return nil, err
+			}
+			eng = sim
 		}
 		e.replicas = append(e.replicas, &replica{
 			idx:       q,
-			sim:       sim,
+			sim:       eng,
 			globalSeq: map[uint64]inflight{},
 		})
 		if cfg.Sim.Metrics != nil {
@@ -223,8 +265,22 @@ func (e *Engine) Pipeline() *core.Pipeline { return e.pl }
 // per-CPU-style view.
 func (e *Engine) HostMaps() *maps.Set { return e.host }
 
-// Replica exposes one underlying simulator (tests, clock pinning).
-func (e *Engine) Replica(q int) *hwsim.Sim { return e.replicas[q].sim }
+// Replica exposes one underlying interpreter simulator (tests, clock
+// pinning). It returns nil when the replica runs the compiled fast
+// path; ReplicaCore reaches the engine either way.
+func (e *Engine) Replica(q int) *hwsim.Sim {
+	sim, _ := e.replicas[q].sim.(*hwsim.Sim)
+	return sim
+}
+
+// ReplicaCore exposes one replica's execution engine regardless of
+// mode.
+func (e *Engine) ReplicaCore(q int) hwsim.Core { return e.replicas[q].sim }
+
+// FastPath reports whether the replicas run the compiled fast path
+// (false means the interpreter serves, either because it was not
+// requested or because the configuration fell back).
+func (e *Engine) FastPath() bool { return e.fastpath }
 
 // SetClock pins the helper-visible clock of every replica.
 func (e *Engine) SetClock(fn func() uint64) {

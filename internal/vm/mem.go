@@ -110,6 +110,25 @@ func (m *MemSpace) ValueAddress(mapID int, key string, value []byte) uint64 {
 	return mapValBase + uint64(mapID)*mapStride + uint64(handle)*tbl.stride
 }
 
+// ValueAddressBytes is the allocation-free variant of ValueAddress for
+// keys held in scratch buffers: the key is converted to a string only
+// when a new handle is registered, so the steady state (every key seen
+// before) performs no heap allocation. The compiled fast path depends
+// on this on its per-packet happy path; the returned address is
+// bit-identical to ValueAddress for the same (mapID, key).
+func (m *MemSpace) ValueAddressBytes(mapID int, key, value []byte) uint64 {
+	tbl := &m.handles[mapID]
+	handle, ok := tbl.byKey[string(key)]
+	if !ok {
+		handle = len(tbl.values)
+		tbl.values = append(tbl.values, value)
+		tbl.byKey[string(key)] = handle
+	} else {
+		tbl.values[handle] = value
+	}
+	return mapValBase + uint64(mapID)*mapStride + uint64(handle)*tbl.stride
+}
+
 // Load executes a LDX instruction against a state.
 func (m *MemSpace) Load(st *State, ins ebpf.Instruction) (uint64, error) {
 	addr := st.Regs[ins.Src] + uint64(int64(ins.Off))
